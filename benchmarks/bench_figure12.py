@@ -1,0 +1,26 @@
+"""Fig. 12 — throughput vs. DIMM count: TensorNode scales, the CPU doesn't."""
+
+from repro.bench import figure12
+from repro.bench.paper_data import FIG12_CPU_SATURATION_GBPS, FIG12_NODE_MAX_GBPS
+
+
+def bench_figure12_dimm_scaling(once):
+    """Regenerate Fig. 12 (32/64/128 DIMMs, embeddings scaled 1x/2x/4x)."""
+    result = once(figure12.run, ops=("GATHER", "REDUCE"), batch=48)
+    print()
+    print(figure12.format_table(result))
+
+    # Shape 1: the conventional memory system gains nothing from extra
+    # DIMMs — its channels are the bottleneck (paper: flat at ~200 GB/s).
+    assert result.cpu_max() < 1.1 * FIG12_CPU_SATURATION_GBPS * 1e9
+    for op in ("GATHER", "REDUCE"):
+        assert result.cpu_scaling(op) < 1.25
+
+    # Shape 2: the TensorNode scales near-linearly: 4x the DIMMs should buy
+    # at least 3x the bandwidth on every op.
+    for op in ("GATHER", "REDUCE"):
+        assert result.node_scaling(op) > 3.0
+
+    # Shape 3: at 128 TensorDIMMs the node sits in the TB/s regime
+    # (paper: 3.1 TB/s; streaming ops get closest).
+    assert result.node_max() > 0.6 * FIG12_NODE_MAX_GBPS * 1e9

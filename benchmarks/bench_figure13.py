@@ -1,0 +1,32 @@
+"""Fig. 13 — latency breakdown of one batch-64 inference, 5 design points."""
+
+from repro.bench import figure13
+from repro.system.design_points import DESIGN_NAMES
+
+
+def bench_figure13_latency_breakdown(once):
+    """Regenerate Fig. 13 and check where each design's time goes."""
+    result = once(figure13.run)
+    print()
+    print(figure13.format_table(result))
+
+    workloads = sorted({w for w, _ in result.breakdowns})
+    for workload in workloads:
+        # Shape 1: TDIMM shrinks both the lookup and the copy stage
+        # relative to the hybrid baseline (Section 6.2's claim).
+        assert result.tdimm_cuts_lookup_and_copy(workload)
+
+        # Shape 2: the oracle never transfers; CPU-only never transfers.
+        assert result.breakdowns[(workload, "GPU-only")].transfer == 0.0
+        assert result.breakdowns[(workload, "CPU-only")].transfer == 0.0
+
+    # Shape 3: for the transfer-heavy hybrid design, cudaMemcpy dominates
+    # on the multi-hot models (YouTube/Fox/Facebook).
+    for workload in ("YouTube", "Fox", "Facebook"):
+        stack = result.normalized_stack(workload, "CPU-GPU")
+        assert stack["memcpy"] > stack["computation"]
+
+    # Shape 4: CPU-only's pain is lookup + computation, not transfer.
+    for workload in ("YouTube", "Fox"):
+        breakdown = result.breakdowns[(workload, "CPU-only")]
+        assert breakdown.lookup + breakdown.computation > 0.99 * breakdown.total

@@ -1,0 +1,28 @@
+"""Fig. 15 — TDIMM speedups as embeddings scale from 1x to 8x."""
+
+from repro.bench import figure15
+from repro.bench.paper_data import FIG15_MAX_SPEEDUP
+
+
+def bench_figure15_scaled_embeddings(once):
+    """Regenerate Fig. 15's embedding-scale sweep."""
+    result = once(figure15.run)
+    print()
+    print(figure15.format_table(result))
+
+    # Shape 1: speedups grow monotonically with embedding scale for both
+    # baselines (the paper's 6.2->15.0x and 8.9->17.6x trends).
+    assert result.monotonic_in_scale("CPU-only")
+    assert result.monotonic_in_scale("CPU-GPU")
+
+    # Shape 2: by 8x embeddings the speedups are well into double digits
+    # territory against the hybrid baseline.
+    assert result.average("CPU-GPU", 8) > 10.0
+    assert result.average("CPU-only", 8) > 7.0
+
+    # Shape 3: individual configurations can spike far above the average
+    # but stay bounded by the paper's 35x maximum observation.
+    assert 15.0 < result.max_speedup() < FIG15_MAX_SPEEDUP + 5.0
+
+    # Shape 4: scaling 1x -> 8x should at least double the advantage.
+    assert result.average("CPU-GPU", 8) > 1.8 * result.average("CPU-GPU", 1)

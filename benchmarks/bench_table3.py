@@ -1,0 +1,33 @@
+"""Table 3 + Section 6.5 — NMP-core FPGA area and TensorNode power."""
+
+from repro.bench import table3
+from repro.bench.paper_data import (
+    POWER_BUDGET_RANGE_W,
+    POWER_NODE_W,
+    POWER_PER_DIMM_W,
+    TABLE3,
+)
+
+
+def bench_table3_area_and_power(once):
+    """Regenerate Table 3 and the Section 6.5 power estimate."""
+    result = once(table3.run)
+    print()
+    print(table3.format_table(result))
+
+    # Table 3's message: every NMP-core component is a rounding error on
+    # the VCU1525 (all utilisations well below half a percent).
+    assert result.all_under(0.5)
+
+    # The dominant entries should land near the paper's reported values.
+    fpu = result.utilization["FPU"]
+    assert abs(fpu["LUT"] - TABLE3["FPU"]["LUT"]) < 0.05
+    assert abs(fpu["DSP"] - TABLE3["FPU"]["DSP"]) < 0.05
+    alu = result.utilization["ALU"]
+    assert abs(alu["LUT"] - TABLE3["ALU"]["LUT"]) < 0.05
+
+    # Section 6.5: ~13 W per 128 GB LR-DIMM, ~416 W per node, inside an
+    # OCP accelerator module's 350-700 W TDP envelope.
+    assert abs(result.power.per_dimm_w - POWER_PER_DIMM_W) < 4.0
+    assert abs(result.power.total_w - POWER_NODE_W) < 120.0
+    assert result.power.total_w <= POWER_BUDGET_RANGE_W[1]

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Embedding-scaling studies: Fig. 3 (capacity) and Fig. 15 (speedups).
+
+The paper's motivation is that DL practitioners keep growing embeddings:
+Fig. 3 shows why that explodes model capacity; Fig. 15 shows TensorDIMM's
+advantage *growing* as they do.  This example regenerates both sweeps.
+
+Run:  python examples/embedding_scaling.py
+"""
+
+from repro.bench import figure03, figure15
+from repro.bench.paper_data import (
+    FIG15_SPEEDUP_VS_CPU_GPU_RANGE,
+    FIG15_SPEEDUP_VS_CPU_ONLY_RANGE,
+)
+
+
+def model_size_growth() -> None:
+    """Fig. 3: NCF model size vs. MLP and embedding dimensions."""
+    result = figure03.run()
+    print(figure03.format_table(result))
+    base = result.size_gb(64, 64)
+    mlp_grown = result.size_gb(8192, 64)
+    emb_grown = result.size_gb(64, 32768)
+    print(f"\ngrowing the MLP 128x:        {base:8.1f} -> {mlp_grown:8.1f} GB")
+    print(f"growing the embeddings 512x: {base:8.1f} -> {emb_grown:8.1f} GB")
+    print("=> embeddings, not MLPs, blow past GPU memory — the paper's premise.\n")
+
+
+def speedup_scaling() -> None:
+    """Fig. 15: TDIMM speedups at 1x/2x/4x/8x embedding dimensions."""
+    result = figure15.run()
+    print(figure15.format_table(result))
+    lo_c, hi_c = FIG15_SPEEDUP_VS_CPU_ONLY_RANGE
+    lo_g, hi_g = FIG15_SPEEDUP_VS_CPU_GPU_RANGE
+    print(f"\npaper: {lo_c}x -> {hi_c}x over CPU-only and "
+          f"{lo_g}x -> {hi_g}x over CPU-GPU as embeddings scale 1x -> 8x")
+    print(f"ours:  {result.average('CPU-only', 1):.1f}x -> "
+          f"{result.average('CPU-only', 8):.1f}x and "
+          f"{result.average('CPU-GPU', 1):.1f}x -> "
+          f"{result.average('CPU-GPU', 8):.1f}x")
+    print(f"largest single-configuration speedup: "
+          f"{result.max_speedup():.1f}x (paper: up to 35x)")
+
+
+def main() -> None:
+    model_size_growth()
+    speedup_scaling()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Operator-level profile of one inference through the model DAG.
+
+Compiles the Facebook workload into its operator graph (Fig. 2's topology),
+executes it op-by-op under two design points, and prints the resulting
+timeline — Fig. 13's stacked bars at per-operator resolution.  The TDIMM
+run executes its embedding operators on a real functional TensorNode, so
+the lookup rows in the timeline are genuine TensorISA kernel launches.
+
+Run:  python examples/pipeline_profile.py
+"""
+
+import numpy as np
+
+from repro import TensorDimmRuntime, TensorNode
+from repro.bench.harness import Table
+from repro.graph import GraphExecutor, ModelGraph
+from repro.models import FACEBOOK, RecommenderModel, small_scale
+
+
+def profile(design: str, config, model, sparse, dense, runtime=None):
+    executor = GraphExecutor(config, model, design=design, runtime=runtime)
+    output, trace = executor.run(sparse, dense)
+    table = Table(
+        f"{design}: per-operator timeline ({trace.total_seconds * 1e6:.1f} us total)",
+        ["op", "stage", "start (us)", "duration (us)"],
+    )
+    for record in trace.records:
+        if record.seconds == 0.0:
+            continue
+        table.add(record.op, record.stage, record.start * 1e6, record.seconds * 1e6)
+    print(table.render())
+    stages = trace.by_stage()
+    print("stage totals: " + ", ".join(
+        f"{stage} {seconds * 1e6:.1f} us" for stage, seconds in sorted(stages.items())
+    ))
+    print()
+    return output
+
+
+def main() -> None:
+    config = small_scale(FACEBOOK, rows=2000)
+    rng = np.random.default_rng(3)
+    model = RecommenderModel(config, rng)
+    sparse, dense = model.sample_inputs(16, rng)
+
+    graph = ModelGraph.from_config(config)
+    print(f"model DAG: {len(graph)} operators, schedule = "
+          f"{' -> '.join(n.name for n in graph.schedule())}\n")
+
+    reference = model.forward(sparse, dense)
+
+    cpu_out = profile("CPU-GPU", config, model, sparse, dense)
+
+    node = TensorNode(num_dimms=16, capacity_words_per_dimm=1 << 17)
+    runtime = TensorDimmRuntime(node, timing_mode="analytic")
+    tdimm_out = profile("TDIMM", config, model, sparse, dense, runtime=runtime)
+
+    assert np.allclose(cpu_out, reference, rtol=1e-4, atol=1e-6)
+    assert np.allclose(tdimm_out, reference, rtol=1e-4, atol=1e-6)
+    print("both timelines produced the reference probabilities; the TDIMM "
+          "lookup rows above\nare real TensorISA launches against the "
+          f"functional node ({runtime.node.instructions_executed} instructions).")
+
+
+if __name__ == "__main__":
+    main()

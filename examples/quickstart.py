@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: drive a TensorNode through the TensorDIMM runtime.
+
+Builds a 16-DIMM TensorNode (the paper's canonical Fig. 7 configuration),
+uploads an embedding table, and runs the three TensorISA operations —
+GATHER, AVERAGE, REDUCE — near-memory.  Every result is checked against
+plain NumPy, and the cycle-level DRAM model reports how fast the node ran.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ReduceOp, TensorDimmRuntime, TensorNode
+
+
+def main() -> None:
+    rng = np.random.default_rng(2019)
+
+    # A TensorNode with 16 TensorDIMMs, 4 MB of DRAM each (scaled-down
+    # capacities keep the functional simulation snappy).
+    node = TensorNode(num_dimms=16, capacity_words_per_dimm=1 << 16)
+    runtime = TensorDimmRuntime(node, timing_mode="cycle")
+    print(f"TensorNode: {node.num_dimms} TensorDIMMs, "
+          f"{node.peak_bandwidth / 1e9:.1f} GB/s aggregate peak, "
+          f"{node.capacity_bytes >> 20} MB pool\n")
+
+    # -- upload two embedding tables (users and items) ----------------------
+    users = rng.standard_normal((4096, 256)).astype(np.float32)
+    items = rng.standard_normal((4096, 256)).astype(np.float32)
+    user_table = runtime.create_table("users", users)
+    item_table = runtime.create_table("items", items)
+    print(f"uploaded 2 tables of {users.nbytes >> 20} MB each "
+          f"(256-dim rows stripe one 64 B chunk per DIMM)\n")
+
+    # -- GATHER: one-hot embedding lookups ----------------------------------
+    batch = 64
+    idx = rng.integers(0, 4096, batch).astype(np.int32)
+    gathered, launch = runtime.gather(user_table, idx)
+    got = node.read_tensor(gathered)
+    assert np.array_equal(got, users[idx])
+    stats = launch.node_stats[0]
+    print(f"GATHER  {batch} rows: {launch.seconds * 1e6:7.2f} us near-memory, "
+          f"{stats.aggregate_bandwidth / 1e9:6.1f} GB/s across the node")
+
+    # -- AVERAGE: multi-hot pooling (YouTube-style 50-way) -------------------
+    multi_hot = rng.integers(0, 4096, (batch, 50)).astype(np.int32)
+    pooled, launches = runtime.embedding_forward(item_table, multi_hot)
+    got = node.read_tensor(pooled)
+    expected = items[multi_hot].mean(axis=1)
+    assert np.allclose(got, expected, atol=1e-5)
+    total_us = sum(l.seconds for l in launches) * 1e6
+    print(f"AVERAGE {batch}x50 lookups pooled to ({batch}, 256): "
+          f"{total_us:7.2f} us (gather + pool)")
+
+    # -- REDUCE: cross-table feature interaction (NCF-style product) --------
+    user_feat, _ = runtime.gather(user_table, idx)
+    item_feat, _ = runtime.gather(item_table, idx)
+    product, launch = runtime.combine([user_feat, item_feat], op=ReduceOp.MUL)
+    got = node.read_tensor(product)
+    assert np.allclose(got, users[idx] * items[idx], atol=1e-5)
+    print(f"REDUCE  user x item element-wise product: "
+          f"{launch.seconds * 1e6:7.2f} us\n")
+
+    # -- what would this cost without near-memory processing? ---------------
+    from repro.config import CPU_PEAK_BANDWIDTH, PCIE3_X16_BANDWIDTH
+
+    moved = gathered.bytes + pooled.bytes * 50 + product.bytes
+    naive = moved / PCIE3_X16_BANDWIDTH * 1e6
+    print(f"shipping the raw embeddings over PCIe instead would move "
+          f"{moved >> 20} MB (~{naive:.0f} us at 16 GB/s) — the NMP pipeline "
+          f"shipped only the reduced tensors.")
+    print(f"\ntotal node time: {runtime.total_seconds * 1e6:.2f} us over "
+          f"{len(runtime.launches)} kernel launches")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Datacenter serving study: tail latency and throughput per design point.
+
+The paper evaluates per-batch latency; production recommenders care about
+p99 under load.  This example drives the same Poisson request trace through
+an inference server built on each design point (dynamic batching: dispatch
+at 64 requests or after 1 ms) and reports the service-level view of the
+architectural comparison.
+
+Run:  python examples/serving_simulation.py
+"""
+
+from repro.bench.harness import Table
+from repro.models import FACEBOOK, YOUTUBE
+from repro.service import ServicePolicy, compare_designs
+
+
+def study(config, arrival_rate: float) -> None:
+    policy = ServicePolicy(max_batch=64, max_wait=1e-3)
+    results = compare_designs(
+        config, arrival_rate=arrival_rate, policy=policy, duration=0.2, seed=42
+    )
+    table = Table(
+        f"{config.name} @ {arrival_rate:,.0f} req/s (batch<=64, 1 ms window)",
+        ["design", "p50 (us)", "p99 (us)", "kreq/s", "util", "mean batch"],
+    )
+    for design, stats in results.items():
+        table.add(
+            design,
+            stats.p50 * 1e6,
+            stats.p99 * 1e6,
+            stats.throughput / 1e3,
+            stats.utilization,
+            stats.mean_batch,
+        )
+    print(table.render())
+    print()
+
+
+def main() -> None:
+    # A load the GPU-side designs absorb easily but that saturates the
+    # CPU-resident baselines (their batch-64 latency is ~1-3 ms).
+    study(YOUTUBE, arrival_rate=50_000)
+    study(FACEBOOK, arrival_rate=25_000)
+    print("reading: the CPU-resident designs saturate (util -> 1.0) and their "
+          "p99 explodes;\nTDIMM tracks the unbuildable GPU oracle within a "
+          "small factor — the paper's per-batch\nspeedups compound into "
+          "service capacity.")
+
+
+if __name__ == "__main__":
+    main()

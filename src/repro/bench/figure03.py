@@ -1,0 +1,61 @@
+"""Fig. 3 — model-size growth of an NCF recommender.
+
+Sweeps the MLP dimension (x-axis) and embedding dimension (y-axis) with
+5 M users and 5 M items per lookup table, reproducing the observation that
+embedding capacity, not MLP capacity, explodes the model footprint.
+"""
+
+from dataclasses import dataclass
+
+from ..models.model_zoo import ncf_model_bytes
+from .harness import Table
+
+#: The paper's sweep ranges (Fig. 3 axes).
+MLP_DIMS = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+EMBEDDING_DIMS = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+
+
+@dataclass
+class Figure3Result:
+    """Model sizes in bytes, keyed by (mlp_dim, embedding_dim)."""
+
+    sizes: dict
+
+    def size_gb(self, mlp_dim: int, embedding_dim: int) -> float:
+        return self.sizes[(mlp_dim, embedding_dim)] / (1 << 30)
+
+    def embedding_dominated(self) -> bool:
+        """True if growing the embedding dim dominates growing the MLP dim."""
+        mlp_growth = self.size_gb(MLP_DIMS[-1], EMBEDDING_DIMS[0]) / self.size_gb(
+            MLP_DIMS[0], EMBEDDING_DIMS[0]
+        )
+        emb_growth = self.size_gb(MLP_DIMS[0], EMBEDDING_DIMS[-1]) / self.size_gb(
+            MLP_DIMS[0], EMBEDDING_DIMS[0]
+        )
+        return emb_growth > 10 * mlp_growth
+
+
+def run(
+    mlp_dims=MLP_DIMS, embedding_dims=EMBEDDING_DIMS, users=5_000_000, items=5_000_000
+) -> Figure3Result:
+    """Compute the full Fig. 3 grid."""
+    sizes = {}
+    for mlp_dim in mlp_dims:
+        for emb_dim in embedding_dims:
+            sizes[(mlp_dim, emb_dim)] = ncf_model_bytes(
+                mlp_dim, emb_dim, users=users, items=items
+            )
+    return Figure3Result(sizes=sizes)
+
+
+def format_table(result: Figure3Result, embedding_dims=(64, 512, 4096, 32768)) -> str:
+    """Rows: embedding dim; columns: MLP dim; cells: model GB."""
+    mlp_dims = sorted({k[0] for k in result.sizes})
+    shown = [d for d in embedding_dims if any(k[1] == d for k in result.sizes)]
+    table = Table(
+        "Fig. 3 — NCF model size (GB), 5M users + 5M items per table",
+        ["emb dim \\ mlp dim"] + [str(d) for d in mlp_dims],
+    )
+    for emb in shown:
+        table.add(str(emb), *[result.size_gb(m, emb) for m in mlp_dims])
+    return table.render()

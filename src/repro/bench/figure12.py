@@ -1,0 +1,79 @@
+"""Fig. 12 — memory throughput as a function of DIMM count.
+
+Larger embeddings need proportionally more DIMMs for capacity; the paper
+shows that a conventional CPU memory system gains *nothing* from the extra
+DIMMs (stuck at ~200 GB/s, its channel count is fixed) while the TensorNode
+scales linearly, reaching 3.1 TB/s at 128 TensorDIMMs.
+
+DIMM counts map to embedding scale: 32 DIMMs hold the default (1x = 2 KB)
+embeddings, 64 hold 2x, 128 hold 4x — matching the figure's caption.
+"""
+
+from dataclasses import dataclass
+
+from .figure11 import EMBEDDING_DIM, OPS, _cpu_bandwidth, _node_bandwidth
+from .harness import Table
+
+#: (DIMM count, embedding scale) pairs of the figure's x-axis groups.
+SWEEP = ((32, 1), (64, 2), (128, 4))
+
+
+@dataclass
+class Figure12Result:
+    """Bandwidth (bytes/s) keyed by (system, op, dimms)."""
+
+    values: dict
+
+    def node_max(self) -> float:
+        return max(v for (s, _, _), v in self.values.items() if s == "TensorNode")
+
+    def cpu_max(self) -> float:
+        return max(v for (s, _, _), v in self.values.items() if s == "CPU")
+
+    def node_scaling(self, op: str) -> float:
+        """Node bandwidth growth from the smallest to the largest pool."""
+        dimms = sorted({k[2] for k in self.values if k[0] == "TensorNode"})
+        return (
+            self.values[("TensorNode", op, dimms[-1])]
+            / self.values[("TensorNode", op, dimms[0])]
+        )
+
+    def cpu_scaling(self, op: str) -> float:
+        dimms = sorted({k[2] for k in self.values if k[0] == "CPU"})
+        return self.values[("CPU", op, dimms[-1])] / self.values[("CPU", op, dimms[0])]
+
+
+def run(sweep=SWEEP, ops=OPS, batch: int = 64, cpu_channels: int = 8) -> Figure12Result:
+    """Measure every op at every pool size on both systems.
+
+    The CPU side keeps its 8 channels no matter how many DIMMs are added
+    (extra DIMMs only add capacity behind the same channels — Section 4.2),
+    which is exactly why its curve is flat.
+    """
+    values = {}
+    for dimms, scale in sweep:
+        embedding_dim = EMBEDDING_DIM * scale
+        for op in ops:
+            values[("TensorNode", op, dimms)] = _node_bandwidth(
+                dimms, op, batch, embedding_dim
+            )
+            values[("CPU", op, dimms)] = _cpu_bandwidth(
+                cpu_channels, op, batch, embedding_dim
+            )
+    return Figure12Result(values=values)
+
+
+def format_table(result: Figure12Result) -> str:
+    dimms = sorted({k[2] for k in result.values})
+    table = Table(
+        "Fig. 12 — throughput (GB/s) vs number of DIMMs",
+        ["system", "op"] + [f"{d} DIMMs" for d in dimms],
+    )
+    for system in ("CPU", "TensorNode"):
+        for op in OPS:
+            if (system, op, dimms[0]) not in result.values:
+                continue
+            table.add(
+                system, op, *[result.values[(system, op, d)] / 1e9 for d in dimms]
+            )
+    return table.render()

@@ -1,0 +1,59 @@
+"""Table 3 + Section 6.5 — NMP-core FPGA utilisation and TensorNode power."""
+
+from dataclasses import dataclass
+
+from ..power.nmp_area import nmp_core_utilization
+from ..power.node_power import NodePowerReport, tensornode_power
+from ..power.targets import XCVU9P
+from .harness import Table
+from .paper_data import TABLE3
+
+
+@dataclass
+class Table3Result:
+    """Measured utilisation (percent) per block, plus the node power report."""
+
+    utilization: dict
+    power: NodePowerReport
+
+    def all_under(self, percent: float = 0.5) -> bool:
+        """Table 3's message: every component is a rounding error."""
+        return all(
+            value <= percent
+            for block in self.utilization.values()
+            for value in block.values()
+        )
+
+    def power_in_budget(self) -> bool:
+        """Section 6.5: node power fits an OCP accelerator-module budget."""
+        return self.power.within_budget(700.0)
+
+
+def run() -> Table3Result:
+    """Compute the utilisation table and the node power estimate."""
+    return Table3Result(
+        utilization=nmp_core_utilization(XCVU9P),
+        power=tensornode_power(),
+    )
+
+
+def format_table(result: Table3Result) -> str:
+    table = Table(
+        "Table 3 — NMP core utilisation on VCU1525 (measured | paper)",
+        ["block", "LUT %", "FF %", "DSP %", "BRAM %"],
+    )
+    for block, util in result.utilization.items():
+        paper = TABLE3.get(block, {})
+        table.add(
+            block,
+            *[
+                f"{util[k]:.2f} | {paper.get(k, 0.0):.2f}"
+                for k in ("LUT", "FF", "DSP", "BRAM")
+            ],
+        )
+    lines = [table.render()]
+    lines.append(
+        f"TensorNode power: {result.power.per_dimm_w:.1f} W/DIMM, "
+        f"{result.power.total_w:.0f} W total (paper: 13 W / 416 W)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure 14
+    python -m repro figure 11 --quick
+    python -m repro table 3
+    python -m repro ablations
+    python -m repro evaluate Facebook --batch 64
+"""
+
+import argparse
+import sys
+
+from .bench import (
+    ablation,
+    figure03,
+    figure04,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    table3,
+)
+from .bench.harness import Table
+from .models.model_zoo import WORKLOADS_BY_NAME, workload
+from .system.design_points import DESIGN_NAMES, evaluate_all
+
+_FIGURES = {
+    "3": (figure03, "NCF model size growth"),
+    "4": (figure04, "baseline performance vs the GPU oracle"),
+    "11": (figure11, "tensor-op bandwidth utilisation (cycle-level)"),
+    "12": (figure12, "throughput vs DIMM count (cycle-level)"),
+    "13": (figure13, "latency breakdown at batch 64"),
+    "14": (figure14, "five design points vs the GPU oracle"),
+    "15": (figure15, "speedups with scaled embeddings"),
+    "16": (figure16, "interconnect-bandwidth sensitivity"),
+}
+
+
+def _cmd_list(_args) -> int:
+    print("figures:")
+    for number, (_, description) in sorted(_FIGURES.items(), key=lambda kv: int(kv[0])):
+        print(f"  figure {number:>2} — {description}")
+    print("tables:\n  table 3  — NMP-core FPGA utilisation + node power")
+    print("other:\n  ablations — design-choice ablation studies")
+    print(f"  evaluate <workload> — one of: {', '.join(sorted(WORKLOADS_BY_NAME))}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.number not in _FIGURES:
+        known = ", ".join(sorted(_FIGURES, key=int))
+        print(f"unknown figure {args.number!r}; known: {known}", file=sys.stderr)
+        return 2
+    module, _ = _FIGURES[args.number]
+    kwargs = {}
+    if args.quick and args.number == "11":
+        kwargs["batches"] = (8, 32, 96)
+    if args.quick and args.number == "12":
+        kwargs["ops"] = ("GATHER", "REDUCE")
+        kwargs["batch"] = 48
+    result = module.run(**kwargs)
+    print(module.format_table(result))
+    return 0
+
+
+def _cmd_table(args) -> int:
+    if args.number != "3":
+        print("only table 3 has a regeneration harness", file=sys.stderr)
+        return 2
+    print(table3.format_table(table3.run()))
+    return 0
+
+
+def _cmd_ablations(_args) -> int:
+    mapping = ablation.address_mapping()
+    print(f"address mapping: interleaved {mapping.interleaved / 1e9:.1f} GB/s vs "
+          f"whole-row {mapping.whole_row / 1e9:.1f} GB/s ({mapping.advantage:.2f}x)")
+    sched = ablation.scheduler()
+    print(f"scheduler: FR-FCFS {sched.fr_fcfs / 1e9:.1f} GB/s vs "
+          f"FCFS {sched.fcfs / 1e9:.1f} GB/s ({sched.advantage:.2f}x)")
+    cache = ablation.cpu_cache(accesses=8000)
+    print(f"cpu cache: uniform gathers at {cache.uniform:.1%} of peak, "
+          f"zipfian {cache.zipfian:.1%}, streaming {cache.streaming:.1%}")
+    queues = ablation.queue_sizing()
+    print(f"queue sizing: {queues.required_bytes} B per queue "
+          f"(paper: {queues.paper_bytes} B)")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    try:
+        config = workload(args.workload)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.scale > 1:
+        config = config.scaled_embedding(args.scale)
+    results = evaluate_all(config, args.batch)
+    table = Table(
+        f"{config.name} @ batch {args.batch}, embedding dim {config.embedding_dim}",
+        ["design", "lookup (us)", "memcpy (us)", "compute (us)", "other (us)",
+         "total (us)", "vs oracle"],
+    )
+    reference = results["GPU-only"]
+    for design in DESIGN_NAMES:
+        r = results[design]
+        table.add(
+            design,
+            r.lookup * 1e6,
+            r.transfer * 1e6,
+            r.computation * 1e6,
+            r.other * 1e6,
+            r.total * 1e6,
+            r.normalized_to(reference),
+        )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TensorDIMM reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", help="figure number (3, 4, 11-16)")
+    figure.add_argument("--quick", action="store_true", help="trimmed sweep")
+    figure.set_defaults(fn=_cmd_figure)
+
+    tbl = sub.add_parser("table", help="regenerate a paper table")
+    tbl.add_argument("number", help="table number (3)")
+    tbl.set_defaults(fn=_cmd_table)
+
+    sub.add_parser("ablations", help="run the ablation studies").set_defaults(
+        fn=_cmd_ablations
+    )
+
+    ev = sub.add_parser("evaluate", help="evaluate one workload")
+    ev.add_argument("workload", help="NCF | YouTube | Fox | Facebook")
+    ev.add_argument("--batch", type=int, default=64)
+    ev.add_argument("--scale", type=int, default=1, help="embedding scale factor")
+    ev.set_defaults(fn=_cmd_evaluate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

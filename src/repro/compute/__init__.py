@@ -1,0 +1,33 @@
+"""Compute substrate: roofline device models and operator cost functions."""
+
+from .cpu import XEON, xeon_with_gather_efficiency
+from .device import DeviceSpec
+from .gpu import V100, v100_with_memory
+from .kernels import (
+    concat_time,
+    elementwise_time,
+    gather_time,
+    gemm_time,
+    linear,
+    mlp_time,
+    pooling_time,
+    relu,
+    sigmoid,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "XEON",
+    "concat_time",
+    "elementwise_time",
+    "gather_time",
+    "gemm_time",
+    "linear",
+    "mlp_time",
+    "pooling_time",
+    "relu",
+    "sigmoid",
+    "v100_with_memory",
+    "xeon_with_gather_efficiency",
+]

@@ -1,0 +1,27 @@
+"""V100-class GPU model (the paper's evaluation GPU, Section 5)."""
+
+from ..config import GPU_HBM_BANDWIDTH
+from .device import DeviceSpec
+
+#: NVIDIA Tesla V100: 15.7 TFLOPS FP32, 900 GB/s HBM2, ~5 us kernel launch.
+#: GPU gathers coalesce across thousands of threads, so sparse embedding
+#: reads still stream near peak bandwidth.
+V100 = DeviceSpec(
+    name="V100",
+    peak_flops=15.7e12,
+    mem_bandwidth=GPU_HBM_BANDWIDTH,
+    kernel_overhead=5e-6,
+    gather_efficiency=0.90,
+    stream_efficiency=0.90,
+    gemm_efficiency=0.75,
+    gemm_ramp_flops=25e6,
+)
+
+
+def v100_with_memory(bandwidth: float) -> DeviceSpec:
+    """A V100 clone with a different local-memory bandwidth.
+
+    Used to emulate the TensorNode the way the paper does (Fig. 10): the
+    node's aggregate DIMM bandwidth stands in for the GPU's HBM.
+    """
+    return V100.with_bandwidth(bandwidth)

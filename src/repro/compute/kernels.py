@@ -1,0 +1,96 @@
+"""Operator-level cost models (and functional math) for CPU/GPU execution.
+
+Each ``*_time`` function prices one kernel on a :class:`DeviceSpec` using
+the roofline plus explicit traffic accounting:
+
+* GEMM: ``2*M*N*K`` FLOPs, reads A and B, writes C.
+* Element-wise reductions: pure streaming, ``inputs + 1`` operand traffic.
+* Embedding gather: reads at the device's *gather* bandwidth (sparse), and
+  writes the packed result at streaming bandwidth.
+
+The functional counterparts (NumPy) are used by :mod:`repro.models` so the
+same operator definitions produce both numbers and latencies.
+"""
+
+import numpy as np
+
+from ..config import BYTES_PER_ELEMENT
+from .device import DeviceSpec
+
+
+# ---------------------------------------------------------------------------
+# cost models
+# ---------------------------------------------------------------------------
+
+def gemm_time(device: DeviceSpec, m: int, n: int, k: int) -> float:
+    """Time for a dense (m x k) @ (k x n) matrix multiply."""
+    if min(m, n, k) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    flops = 2.0 * m * n * k
+    traffic = (m * k + k * n + m * n) * BYTES_PER_ELEMENT
+    return device.kernel_time(flops, traffic)
+
+
+def mlp_time(device: DeviceSpec, batch: int, layer_dims: list[int]) -> float:
+    """Time for a fully-connected stack ``layer_dims[0] -> ... -> [-1]``.
+
+    Each layer is a GEMM plus a fused bias+activation pass (priced into the
+    GEMM's output traffic, as production libraries fuse them).
+    """
+    if len(layer_dims) < 2:
+        return 0.0
+    total = 0.0
+    for d_in, d_out in zip(layer_dims[:-1], layer_dims[1:]):
+        total += gemm_time(device, batch, d_out, d_in)
+    return total
+
+
+def elementwise_time(device: DeviceSpec, output_bytes: int, num_inputs: int = 2) -> float:
+    """Time for an element-wise op producing ``output_bytes``."""
+    if num_inputs < 1:
+        raise ValueError("element-wise op needs at least one input")
+    traffic = (num_inputs + 1) * output_bytes
+    return device.kernel_time(0.0, traffic)
+
+
+def concat_time(device: DeviceSpec, output_bytes: int) -> float:
+    """Time for tensor concatenation (read everything, write everything)."""
+    return device.kernel_time(0.0, 2 * output_bytes)
+
+
+def gather_time(device: DeviceSpec, gathered_bytes: int) -> float:
+    """Time for an embedding-lookup gather of ``gathered_bytes``.
+
+    Reads are sparse (priced at the device's gather bandwidth); the packed
+    output write streams at full rate.
+    """
+    if gathered_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    read = gathered_bytes / device.effective_gather_bandwidth
+    write = gathered_bytes / device.effective_stream_bandwidth
+    return device.kernel_overhead + read + write
+
+
+def pooling_time(device: DeviceSpec, gathered_bytes: int, pooled_bytes: int) -> float:
+    """Time to reduce gathered embeddings down to ``pooled_bytes``."""
+    traffic = gathered_bytes + pooled_bytes
+    return device.kernel_time(0.0, traffic)
+
+
+# ---------------------------------------------------------------------------
+# functional math (used by repro.models for numerics)
+# ---------------------------------------------------------------------------
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """``x @ weight.T + bias`` with shape checks."""
+    if x.shape[-1] != weight.shape[1]:
+        raise ValueError(f"shape mismatch: {x.shape} @ {weight.shape}.T")
+    return x @ weight.T + bias

@@ -1,0 +1,45 @@
+"""The paper's contribution: TensorDIMM, TensorISA, TensorNode, runtime."""
+
+from .address_map import EmbeddingLayout, chunks_for_dim
+from .allocator import Allocation, NodeAllocator, OutOfNodeMemory
+from .assembler import AssemblerError, assemble, disassemble
+from .isa import Instruction, Opcode, ReduceOp, average, gather, reduce, update
+from .nmp_core import (
+    NmpCore,
+    NmpExecStats,
+    SramQueue,
+    VectorAlu,
+    required_queue_bytes,
+)
+from .runtime import KernelLaunch, TensorDimmRuntime
+from .tensordimm import TensorDimm, TimedExecution
+from .tensornode import NodeExecStats, TensorNode
+
+__all__ = [
+    "Allocation",
+    "AssemblerError",
+    "EmbeddingLayout",
+    "Instruction",
+    "KernelLaunch",
+    "NmpCore",
+    "NmpExecStats",
+    "NodeAllocator",
+    "NodeExecStats",
+    "Opcode",
+    "OutOfNodeMemory",
+    "ReduceOp",
+    "SramQueue",
+    "TensorDimm",
+    "TensorDimmRuntime",
+    "TensorNode",
+    "TimedExecution",
+    "VectorAlu",
+    "assemble",
+    "average",
+    "chunks_for_dim",
+    "disassemble",
+    "gather",
+    "reduce",
+    "required_queue_bytes",
+    "update",
+]

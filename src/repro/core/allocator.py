@@ -1,0 +1,128 @@
+"""Memory allocator for the disaggregated TensorNode pool (Section 4.4).
+
+The paper inherits remote (de)allocation APIs from the MC-DLA work [39];
+this module provides the equivalent: tensors live in *node word space*
+(64 B words striped round-robin over the DIMMs), while replicated buffers
+(the GATHER index arrays every NMP core must read locally) live at the top
+of each DIMM's local space, identical on every DIMM.
+
+Interleaved allocations grow upward from local word 0; replicated
+allocations grow downward from the top.  The two cursors meeting means the
+pool is exhausted.
+"""
+
+from dataclasses import dataclass
+
+from .address_map import EmbeddingLayout
+
+
+class OutOfNodeMemory(MemoryError):
+    """Raised when an allocation cannot fit in the TensorNode pool."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live allocation in node word space."""
+
+    name: str
+    base_word: int  # node-linear for interleaved, DIMM-local for replicated
+    node_words: int
+    replicated: bool = False
+
+
+class NodeAllocator:
+    """Bump allocator over a TensorNode's word space with a replicated region."""
+
+    def __init__(self, node_dim: int, words_per_dimm: int):
+        if node_dim < 1 or words_per_dimm < 1:
+            raise ValueError("node geometry must be positive")
+        self.node_dim = node_dim
+        self.words_per_dimm = words_per_dimm
+        self._interleaved_local_top = 0  # next free DIMM-local word (grows up)
+        self._replicated_local_bottom = words_per_dimm  # grows down
+        self.allocations: dict[str, Allocation] = {}
+
+    @property
+    def total_node_words(self) -> int:
+        return self.node_dim * self.words_per_dimm
+
+    @property
+    def free_local_words(self) -> int:
+        return self._replicated_local_bottom - self._interleaved_local_top
+
+    def _take_name(self, name: str) -> None:
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+
+    # -- interleaved tensors -----------------------------------------------------
+
+    def alloc_words(self, name: str, node_words: int) -> Allocation:
+        """Allocate ``node_words`` interleaved words, aligned to node_dim."""
+        self._take_name(name)
+        if node_words < 1:
+            raise ValueError("allocation must be at least one word")
+        local_words = -(-node_words // self.node_dim)
+        if local_words > self.free_local_words:
+            raise OutOfNodeMemory(
+                f"{name!r} needs {local_words} local words, "
+                f"only {self.free_local_words} free"
+            )
+        base_word = self._interleaved_local_top * self.node_dim
+        self._interleaved_local_top += local_words
+        allocation = Allocation(name, base_word, local_words * self.node_dim)
+        self.allocations[name] = allocation
+        return allocation
+
+    def alloc_tensor(self, name: str, rows: int, embedding_dim: int) -> EmbeddingLayout:
+        """Allocate an interleaved (rows x embedding_dim) tensor."""
+        layout = EmbeddingLayout(self.node_dim, rows, embedding_dim, base_word=0)
+        allocation = self.alloc_words(name, layout.total_words)
+        return EmbeddingLayout(
+            self.node_dim, rows, embedding_dim, base_word=allocation.base_word
+        )
+
+    # -- replicated buffers --------------------------------------------------------
+
+    def alloc_replicated(self, name: str, local_words: int) -> Allocation:
+        """Allocate a per-DIMM replicated buffer (e.g. GATHER indices)."""
+        self._take_name(name)
+        if local_words < 1:
+            raise ValueError("allocation must be at least one word")
+        if local_words > self.free_local_words:
+            raise OutOfNodeMemory(
+                f"{name!r} needs {local_words} replicated words, "
+                f"only {self.free_local_words} free"
+            )
+        self._replicated_local_bottom -= local_words
+        allocation = Allocation(
+            name, self._replicated_local_bottom, local_words, replicated=True
+        )
+        self.allocations[name] = allocation
+        return allocation
+
+    # -- dealloc ----------------------------------------------------------------
+
+    def free(self, name: str) -> None:
+        """Release an allocation.
+
+        Bump allocation only reclaims space when the freed block is the most
+        recent one in its region (stack discipline) — sufficient for the
+        inference runtime, which frees activations in reverse order.
+        """
+        allocation = self.allocations.pop(name, None)
+        if allocation is None:
+            raise KeyError(f"no allocation named {name!r}")
+        if allocation.replicated:
+            if allocation.base_word == self._replicated_local_bottom:
+                self._replicated_local_bottom += allocation.node_words
+        else:
+            local_words = allocation.node_words // self.node_dim
+            top = allocation.base_word // self.node_dim + local_words
+            if top == self._interleaved_local_top:
+                self._interleaved_local_top -= local_words
+
+    def reset(self) -> None:
+        """Release everything (end of one inference pass)."""
+        self.allocations.clear()
+        self._interleaved_local_top = 0
+        self._replicated_local_bottom = self.words_per_dimm

@@ -1,0 +1,148 @@
+"""TensorISA assembler / disassembler.
+
+A small, human-readable text format for TensorISA programs, used by the
+debugging tooling and the CLI.  One instruction per line::
+
+    GATHER   table=0x400 idx=0x10 out=0x800 count=64 wps=2
+    REDUCE.MUL in1=0x800 in2=0xc00 out=0x800 count=128
+    AVERAGE  in=0x800 group=25 out=0x1000 count=64 wps=2
+
+* Addresses accept decimal or ``0x`` hexadecimal, in 64 B node words.
+* ``REDUCE`` takes an optional ``.SUM/.SUB/.MUL/.MAX/.MIN`` suffix.
+* ``wps`` (words per slice) defaults to 1, the paper's canonical layout.
+* ``#`` starts a comment; blank lines are ignored.
+"""
+
+from .isa import Instruction, Opcode, ReduceOp, average, gather, reduce, update
+
+
+class AssemblerError(ValueError):
+    """Raised for malformed TensorISA assembly."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_FIELDS = {
+    Opcode.GATHER: ("table", "idx", "out", "count"),
+    Opcode.REDUCE: ("in1", "in2", "out", "count"),
+    Opcode.AVERAGE: ("in", "group", "out", "count"),
+    Opcode.UPDATE: ("grad", "idx", "table", "count"),
+}
+
+#: Opcodes accepting a ``.SUBOP`` suffix.
+_SUFFIXED = (Opcode.REDUCE, Opcode.UPDATE)
+
+_OPTIONAL = ("wps",)
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(line_number, f"bad integer {token!r}") from None
+
+
+def _parse_line(line: str, line_number: int) -> Instruction | None:
+    text = line.split("#", 1)[0].strip()
+    if not text:
+        return None
+    mnemonic, *tokens = text.split()
+    name, _, suffix = mnemonic.upper().partition(".")
+    try:
+        opcode = Opcode[name]
+    except KeyError:
+        raise AssemblerError(line_number, f"unknown opcode {name!r}") from None
+    if suffix and opcode not in _SUFFIXED:
+        raise AssemblerError(line_number, f"{name} takes no sub-op suffix")
+    subop = ReduceOp.SUM
+    if suffix:
+        try:
+            subop = ReduceOp[suffix]
+        except KeyError:
+            raise AssemblerError(line_number, f"unknown reduce op {suffix!r}") from None
+
+    fields = {}
+    for token in tokens:
+        if "=" not in token:
+            raise AssemblerError(line_number, f"expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        key = key.lower()
+        if key in fields:
+            raise AssemblerError(line_number, f"duplicate field {key!r}")
+        fields[key] = _parse_int(value, line_number)
+
+    required = _FIELDS[opcode]
+    missing = [k for k in required if k not in fields]
+    if missing:
+        raise AssemblerError(line_number, f"missing field(s) {', '.join(missing)}")
+    extra = [k for k in fields if k not in required and k not in _OPTIONAL]
+    if extra:
+        raise AssemblerError(line_number, f"unknown field(s) {', '.join(extra)}")
+
+    wps = fields.get("wps", 1)
+    try:
+        if opcode == Opcode.GATHER:
+            return gather(fields["table"], fields["idx"], fields["out"],
+                          fields["count"], wps)
+        if opcode == Opcode.REDUCE:
+            return reduce(fields["in1"], fields["in2"], fields["out"],
+                          fields["count"], subop)
+        if opcode == Opcode.UPDATE:
+            return update(fields["grad"], fields["idx"], fields["table"],
+                          fields["count"], wps, subop)
+        return average(fields["in"], fields["group"], fields["out"],
+                       fields["count"], wps)
+    except ValueError as exc:
+        raise AssemblerError(line_number, str(exc)) from None
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble a TensorISA program into instructions."""
+    program = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        instruction = _parse_line(line, line_number)
+        if instruction is not None:
+            program.append(instruction)
+    return program
+
+
+def disassemble(instructions) -> str:
+    """Render instructions back into canonical assembly text."""
+    lines = []
+    for instr in instructions:
+        if instr.opcode == Opcode.GATHER:
+            line = (
+                f"GATHER table={instr.table_base:#x} idx={instr.index_base:#x} "
+                f"out={instr.output_base:#x} count={instr.count}"
+            )
+        elif instr.opcode == Opcode.REDUCE:
+            suffix = "" if instr.subop == ReduceOp.SUM else f".{instr.subop.name}"
+            line = (
+                f"REDUCE{suffix} in1={instr.input_base:#x} in2={instr.aux:#x} "
+                f"out={instr.output_base:#x} count={instr.count}"
+            )
+        elif instr.opcode == Opcode.AVERAGE:
+            line = (
+                f"AVERAGE in={instr.input_base:#x} group={instr.average_num} "
+                f"out={instr.output_base:#x} count={instr.count}"
+            )
+        elif instr.opcode == Opcode.UPDATE:
+            suffix = "" if instr.subop == ReduceOp.SUM else f".{instr.subop.name}"
+            line = (
+                f"UPDATE{suffix} grad={instr.input_base:#x} "
+                f"idx={instr.index_base:#x} table={instr.output_base:#x} "
+                f"count={instr.count}"
+            )
+        else:
+            raise ValueError(f"unknown opcode {instr.opcode}")
+        if instr.words_per_slice != 1:
+            line += f" wps={instr.words_per_slice}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def round_trip(source: str) -> str:
+    """assemble -> disassemble (canonicalises a program; used by tests)."""
+    return disassemble(assemble(source))

@@ -1,0 +1,128 @@
+"""TensorDIMM: a buffered DIMM with an NMP core (Section 4.2, Fig. 6b).
+
+A TensorDIMM couples commodity DRAM (one rank of DDR4, modelled by
+:class:`~repro.dram.controller.MemoryController` + a functional
+:class:`~repro.dram.storage.WordStorage`) with the buffer-device NMP core.
+It exposes both personalities the paper requires:
+
+* **Normal buffered-DIMM mode** — plain 64 B load/store, so the module can
+  serve as an ordinary LR-DIMM when not accelerating DL.
+* **NMP mode** — TensorISA instructions forwarded to the NMP-local memory
+  controller, executed against the DIMM's private DRAM at full local
+  bandwidth.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ACCESS_GRANULARITY
+from ..dram.command import Request
+from ..dram.controller import ControllerStats, MemoryController
+from ..dram.mapping import AddressMapping, DramOrganization
+from ..dram.storage import WordStorage
+from ..dram.timing import DDR4_3200, DramTiming
+from .isa import Instruction
+from .nmp_core import NmpCore, NmpExecStats
+
+
+@dataclass
+class TimedExecution:
+    """Result of running one instruction through the cycle-level DRAM model."""
+
+    exec_stats: NmpExecStats
+    dram_stats: ControllerStats
+    seconds: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved local DRAM bandwidth during the instruction."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.dram_stats.total_bytes / self.seconds
+
+
+class TensorDimm:
+    """One TensorDIMM module: DRAM rank + buffer device with NMP core."""
+
+    def __init__(
+        self,
+        dimm_id: int,
+        node_dim: int,
+        capacity_words: int = 1 << 16,
+        timing: DramTiming = DDR4_3200,
+        organization: DramOrganization | None = None,
+    ):
+        self.dimm_id = dimm_id
+        self.node_dim = node_dim
+        self.timing = timing
+        self.organization = organization or DramOrganization(ranks=1)
+        self.storage = WordStorage(capacity_words)
+        self.nmp = NmpCore(dimm_id, node_dim, self.storage)
+
+    @property
+    def capacity_words(self) -> int:
+        return self.storage.capacity_words
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.timing.peak_bandwidth
+
+    # -- normal buffered-DIMM mode -------------------------------------------
+
+    def load64(self, local_word: int) -> np.ndarray:
+        """Plain 64 B read (non-NMP path through the buffer device)."""
+        return self.storage.read_word(local_word)
+
+    def store64(self, local_word: int, values: np.ndarray) -> None:
+        """Plain 64 B write."""
+        self.storage.write_word(local_word, values)
+
+    # -- NMP mode ---------------------------------------------------------------
+
+    def execute(self, instr: Instruction) -> NmpExecStats:
+        """Execute this DIMM's slice of a broadcast instruction (functional)."""
+        return self.nmp.execute(instr)
+
+    def execute_timed(
+        self, instr: Instruction, refresh_enabled: bool = True
+    ) -> TimedExecution:
+        """Execute functionally *and* replay the DRAM traffic cycle-level.
+
+        The NMP-local memory controller translates the instruction into
+        RAS/CAS-level commands (Section 4.2); here the generated transaction
+        trace is run through the FR-FCFS controller to obtain the
+        instruction's DRAM service time on this DIMM.
+        """
+        trace = self.nmp.trace(instr)
+        stats = self.execute(instr)
+        controller = MemoryController(
+            self.timing,
+            organization=self.organization,
+            mapping=AddressMapping(self.organization),
+            refresh_enabled=refresh_enabled,
+        )
+        for record in trace:
+            controller.enqueue(
+                Request(addr=record.addr, is_write=record.is_write, arrival=record.cycle)
+            )
+        dram_stats = controller.run_to_completion()
+        dram_seconds = controller.elapsed_seconds()
+        alu_seconds = stats.alu_seconds(self.nmp.alu.clock_hz)
+        return TimedExecution(
+            exec_stats=stats,
+            dram_stats=dram_stats,
+            seconds=max(dram_seconds, alu_seconds),
+        )
+
+    def write_slice(self, local_word: int, payload: np.ndarray) -> None:
+        """Bulk-write this DIMM's slice of an interleaved tensor."""
+        self.storage.write_words(local_word, payload)
+
+    def read_slice(self, local_word: int, num_words: int) -> np.ndarray:
+        """Bulk-read ``num_words`` local words."""
+        return self.storage.read_words(local_word + np.arange(num_words))
+
+    def write_indices(self, local_word: int, indices: np.ndarray) -> None:
+        """Store a replicated int32 index buffer at a local word address."""
+        self.storage.write_indices(local_word, indices)

@@ -1,0 +1,164 @@
+"""TensorNode: a disaggregated pool of TensorDIMMs (Section 4.3, Fig. 6c).
+
+The node sits on the GPU-side interconnect as an NVLink endpoint.  GPUs
+send TensorISA instructions (piggybacked on kernel launches, Section 4.4);
+the node broadcasts each instruction to every TensorDIMM, whose NMP core
+executes its own slice of the tensor operation against its private DRAM.
+
+Because each NMP core streams only its local rank, the aggregate bandwidth
+delivered to a tensor operation is ``num_dimms x per-DIMM bandwidth`` —
+the memory-bandwidth scaling property measured in Fig. 11/12.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ACCESS_GRANULARITY, ELEMS_PER_WORD
+from ..dram.mapping import DramOrganization
+from ..dram.timing import DDR4_3200, DramTiming
+from ..interconnect.link import NVLINK2_GPU, Link
+from .address_map import EmbeddingLayout
+from .allocator import Allocation, NodeAllocator
+from .isa import Instruction
+from .nmp_core import NmpExecStats
+from .tensordimm import TensorDimm, TimedExecution
+
+
+@dataclass
+class NodeExecStats:
+    """Aggregate result of one broadcast instruction across the node."""
+
+    per_dimm: list
+    seconds: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.dram_bytes for s in self.per_dimm)
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Achieved node-wide DRAM bandwidth (only valid for timed runs)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.total_bytes / self.seconds
+
+
+class TensorNode:
+    """A pool of TensorDIMMs behind one interconnect endpoint."""
+
+    def __init__(
+        self,
+        num_dimms: int = 32,
+        capacity_words_per_dimm: int = 1 << 16,
+        timing: DramTiming = DDR4_3200,
+        link: Link = NVLINK2_GPU,
+        organization: DramOrganization | None = None,
+    ):
+        if num_dimms < 1:
+            raise ValueError("a TensorNode needs at least one TensorDIMM")
+        self.num_dimms = num_dimms
+        self.timing = timing
+        self.link = link
+        self.dimms = [
+            TensorDimm(
+                dimm_id=i,
+                node_dim=num_dimms,
+                capacity_words=capacity_words_per_dimm,
+                timing=timing,
+                organization=organization,
+            )
+            for i in range(num_dimms)
+        ]
+        self.allocator = NodeAllocator(num_dimms, capacity_words_per_dimm)
+        self.instructions_executed = 0
+
+    # -- capacity / bandwidth ----------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(d.storage.capacity_bytes for d in self.dimms)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate peak DRAM bandwidth (Table 1: 819.2 GB/s at 32 DIMMs)."""
+        return self.num_dimms * self.timing.peak_bandwidth
+
+    # -- tensor I/O (functional) ----------------------------------------------------
+
+    def alloc_tensor(self, name: str, rows: int, embedding_dim: int) -> EmbeddingLayout:
+        """Allocate an interleaved tensor in the pool."""
+        return self.allocator.alloc_tensor(name, rows, embedding_dim)
+
+    def write_tensor(self, layout: EmbeddingLayout, values: np.ndarray) -> None:
+        """Scatter a (rows, dim) array into the DIMMs through the interleave."""
+        self._check_layout(layout)
+        slices = layout.scatter(values)
+        base_local = layout.base_word // self.num_dimms
+        for dimm, payload in zip(self.dimms, slices):
+            dimm.write_slice(base_local, payload)
+
+    def read_tensor(self, layout: EmbeddingLayout) -> np.ndarray:
+        """Gather a (rows, dim) array back out of the DIMMs."""
+        self._check_layout(layout)
+        base_local = layout.base_word // self.num_dimms
+        slices = [
+            dimm.read_slice(base_local, layout.words_per_dimm) for dimm in self.dimms
+        ]
+        return layout.gather_slices(slices)
+
+    def alloc_indices(self, name: str, count: int) -> Allocation:
+        """Allocate a replicated index buffer for ``count`` int32 indices."""
+        local_words = -(-count // ELEMS_PER_WORD)
+        return self.allocator.alloc_replicated(name, local_words)
+
+    def write_indices(self, allocation: Allocation, indices: np.ndarray) -> None:
+        """Broadcast an index buffer to every DIMM's local copy."""
+        if not allocation.replicated:
+            raise ValueError("index buffers must use replicated allocations")
+        for dimm in self.dimms:
+            dimm.write_indices(allocation.base_word, indices)
+
+    def _check_layout(self, layout: EmbeddingLayout) -> None:
+        if layout.node_dim != self.num_dimms:
+            raise ValueError(
+                f"layout built for node_dim {layout.node_dim}, node has "
+                f"{self.num_dimms} DIMMs"
+            )
+
+    # -- instruction execution ---------------------------------------------------
+
+    def broadcast(self, instr: Instruction) -> NodeExecStats:
+        """Execute one instruction functionally on every DIMM."""
+        self.instructions_executed += 1
+        return NodeExecStats(per_dimm=[d.execute(instr) for d in self.dimms])
+
+    def broadcast_timed(
+        self,
+        instr: Instruction,
+        refresh_enabled: bool = True,
+        simulate_dimms: int | None = 1,
+    ) -> NodeExecStats:
+        """Execute one instruction and measure its node-level latency.
+
+        Each DIMM's DRAM traffic is cycle-simulated independently; the node
+        finishes when the slowest DIMM does.  Because the rank-interleaved
+        layout gives every DIMM an *identical* local transaction stream, the
+        default simulates ``simulate_dimms=1`` DIMM(s) cycle-level and
+        reuses that service time for the rest (pass ``None`` to simulate
+        every DIMM — tests use this to verify the streams really are
+        identical in length).
+        """
+        self.instructions_executed += 1
+        limit = self.num_dimms if simulate_dimms is None else simulate_dimms
+        per_dimm: list[NmpExecStats] = []
+        seconds = 0.0
+        timed: TimedExecution | None = None
+        for i, dimm in enumerate(self.dimms):
+            if i < limit:
+                timed = dimm.execute_timed(instr, refresh_enabled=refresh_enabled)
+                per_dimm.append(timed.exec_stats)
+                seconds = max(seconds, timed.seconds)
+            else:
+                per_dimm.append(dimm.execute(instr))
+        return NodeExecStats(per_dimm=per_dimm, seconds=seconds)

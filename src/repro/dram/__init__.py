@@ -1,0 +1,51 @@
+"""Cycle-level DDR4 memory-system substrate (Ramulator-style).
+
+Public surface:
+
+* :class:`~repro.dram.timing.DramTiming` and the ``DDR4_*`` speed grades
+* :class:`~repro.dram.mapping.DramOrganization` /
+  :class:`~repro.dram.mapping.AddressMapping`
+* :class:`~repro.dram.controller.MemoryController` — one channel, FR-FCFS
+* :class:`~repro.dram.system.DramSystem` — multi-channel system
+* :class:`~repro.dram.storage.WordStorage` — functional 64 B-word store
+* :mod:`~repro.dram.trace` — trace records and generators
+* :class:`~repro.dram.cache.Cache` / ``CacheHierarchy`` — CPU-gather ablation
+"""
+
+from .cache import Cache, CacheHierarchy, CacheStats
+from .command import Command, Request, TraceRequest
+from .controller import ControllerStats, MemoryController
+from .mapping import (
+    BANK_INTERLEAVED_ORDER,
+    RANK_INTERLEAVED_ORDER,
+    ROW_INTERLEAVED_ORDER,
+    AddressMapping,
+    DramOrganization,
+)
+from .storage import WordStorage
+from .system import DramSystem, SystemStats
+from .timing import DDR4_2400, DDR4_2666, DDR4_3200, SPEED_GRADES, DramTiming
+
+__all__ = [
+    "AddressMapping",
+    "BANK_INTERLEAVED_ORDER",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "Command",
+    "ControllerStats",
+    "DDR4_2400",
+    "DDR4_2666",
+    "DDR4_3200",
+    "DramOrganization",
+    "DramSystem",
+    "DramTiming",
+    "MemoryController",
+    "RANK_INTERLEAVED_ORDER",
+    "ROW_INTERLEAVED_ORDER",
+    "Request",
+    "SPEED_GRADES",
+    "SystemStats",
+    "TraceRequest",
+    "WordStorage",
+]

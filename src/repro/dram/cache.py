@@ -1,0 +1,105 @@
+"""Set-associative cache model for the CPU-gather ablation.
+
+Gupta et al. (cited in Section 7) observed that the irregular, sparse access
+pattern of embedding lookups makes CPU cache hit rates extremely low, so the
+cache hierarchy's lookup latency is paid on nearly every access and less
+than 5% of the DRAM bandwidth is realised.  This module provides a simple
+LRU set-associative cache to reproduce that observation and to justify the
+CPU gather-efficiency factor used by the system model.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class Cache:
+    """An LRU set-associative cache over 64 B lines."""
+
+    def __init__(self, capacity_bytes: int, ways: int = 8, line_bytes: int = 64):
+        if capacity_bytes % (ways * line_bytes):
+            raise ValueError("capacity must be a multiple of ways * line size")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (ways * line_bytes)
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, addr: int) -> bool:
+        """Touch one address; returns True on hit."""
+        line = addr // self.line_bytes
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        entries = self._sets[index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(entries) >= self.ways:
+            entries.popitem(last=False)
+        entries[tag] = True
+        return False
+
+    def access_many(self, addrs) -> int:
+        """Touch a sequence of addresses; returns the number of hits."""
+        return sum(1 for addr in addrs if self.access(addr))
+
+
+@dataclass
+class CacheHierarchy:
+    """A two-level hierarchy (private L2 + shared LLC) for gather studies."""
+
+    l2: Cache
+    llc: Cache
+    l2_latency_ns: float = 5.0
+    llc_latency_ns: float = 20.0
+    dram_latency_ns: float = 80.0
+
+    @classmethod
+    def xeon_like(cls) -> "CacheHierarchy":
+        """A Skylake-SP-like hierarchy: 1 MB L2, 32 MB shared LLC."""
+        return cls(l2=Cache(1 << 20, ways=16), llc=Cache(32 << 20, ways=16))
+
+    def access(self, addr: int) -> float:
+        """Returns the access latency in nanoseconds."""
+        if self.l2.access(addr):
+            return self.l2_latency_ns
+        if self.llc.access(addr):
+            return self.llc_latency_ns
+        return self.dram_latency_ns
+
+    def gather_throughput(self, addrs, mlp: float = 10.0) -> float:
+        """Bytes/second sustained by a sparse gather stream.
+
+        Each 64 B access pays the hierarchy's lookup latency; a core keeps
+        about ``mlp`` misses in flight.  With a cold cache this lands at a
+        few GB/s — i.e. <5% of an 8-channel system's 204.8 GB/s peak, which
+        reproduces the Gupta et al. observation the paper cites.
+        """
+        addrs = list(addrs)
+        if not addrs:
+            return 0.0
+        avg_ns = sum(self.access(addr) for addr in addrs) / len(addrs)
+        return mlp * self.l2.line_bytes / (avg_ns * 1e-9)
+
+    def gather_efficiency(self, addrs, peak_bandwidth: float, mlp: float = 10.0) -> float:
+        """Fraction of ``peak_bandwidth`` realised by a gather stream."""
+        if peak_bandwidth <= 0:
+            raise ValueError("peak bandwidth must be positive")
+        return min(1.0, self.gather_throughput(addrs, mlp) / peak_bandwidth)

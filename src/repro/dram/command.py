@@ -1,0 +1,56 @@
+"""DRAM command and request types shared across the simulator."""
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+
+class Command(Enum):
+    """DDR4 commands the controller can issue."""
+
+    ACT = auto()
+    PRE = auto()
+    RD = auto()
+    WR = auto()
+    REF = auto()
+
+
+@dataclass
+class Request:
+    """One 64 B read or write transaction presented to a memory controller.
+
+    ``addr`` is the channel-local physical byte address; the controller
+    decodes it into rank / bank-group / bank / row / column coordinates at
+    enqueue time.  ``arrival`` is the cycle the request becomes visible to
+    the scheduler, and ``completion`` is filled in when the data burst
+    finishes on the bus.
+    """
+
+    addr: int
+    is_write: bool
+    arrival: int = 0
+    rank: int = 0
+    bankgroup: int = 0
+    bank: int = 0
+    row: int = 0
+    column: int = 0
+    completion: int = -1
+    seq: int = field(default_factory=itertools.count().__next__)
+
+    @property
+    def done(self) -> bool:
+        return self.completion >= 0
+
+    @property
+    def latency(self) -> int:
+        """Queueing + service latency in cycles (valid once done)."""
+        return self.completion - self.arrival
+
+
+@dataclass
+class TraceRequest:
+    """A (cycle, address, is_write) record for trace-driven simulation."""
+
+    cycle: int
+    addr: int
+    is_write: bool

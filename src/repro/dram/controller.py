@@ -1,0 +1,296 @@
+"""FR-FCFS memory controller for one DRAM channel.
+
+The scheduler follows the classic first-ready, first-come-first-served
+policy: among the requests in the scheduling window it issues the command
+that can go on the wires earliest, preferring column commands (row hits)
+over row commands and older requests over younger ones.  Writes are buffered
+and drained in batches between read bursts (watermark policy), and per-rank
+auto-refresh is modelled with all-bank REF every tREFI.
+
+The loop is event-driven rather than per-cycle ticked: every iteration picks
+the next command and advances time directly to its issue cycle, which keeps
+the Python implementation fast while preserving cycle-resolution timing.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from .bank import Rank
+from .command import Request
+from .mapping import AddressMapping, DramOrganization
+from .timing import DramTiming
+
+
+@dataclass
+class ControllerStats:
+    """Counters accumulated over one simulation run."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    activates: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    data_bus_cycles: int = 0
+    finish_cycle: int = 0
+    read_latency_sum: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.accesses * 64
+
+    @property
+    def row_hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.row_hits / self.accesses
+
+    @property
+    def bus_utilization(self) -> float:
+        if not self.finish_cycle:
+            return 0.0
+        return self.data_bus_cycles / self.finish_cycle
+
+    @property
+    def mean_read_latency(self) -> float:
+        if not self.reads:
+            return 0.0
+        return self.read_latency_sum / self.reads
+
+    def bandwidth(self, timing: DramTiming) -> float:
+        """Achieved bandwidth in bytes/second over the run."""
+        if not self.finish_cycle:
+            return 0.0
+        return self.total_bytes / timing.cycles_to_seconds(self.finish_cycle)
+
+
+class _Entry:
+    """A queued request plus its row-buffer outcome bookkeeping."""
+
+    __slots__ = ("request", "needed_act", "needed_pre")
+
+    def __init__(self, request: Request):
+        self.request = request
+        self.needed_act = False
+        self.needed_pre = False
+
+
+class MemoryController:
+    """One channel's FR-FCFS scheduler plus its rank/bank state."""
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        organization: DramOrganization | None = None,
+        mapping: AddressMapping | None = None,
+        window: int = 32,
+        write_high_watermark: int = 32,
+        write_low_watermark: int = 8,
+        refresh_enabled: bool = True,
+        row_policy: str = "open",
+    ):
+        if row_policy not in ("open", "closed"):
+            raise ValueError(f"unknown row policy {row_policy!r}")
+        self.timing = timing.scaled_refresh(refresh_enabled)
+        self.organization = organization or DramOrganization()
+        self.mapping = mapping or AddressMapping(self.organization)
+        self.window = window
+        self.row_policy = row_policy
+        self.write_high = write_high_watermark
+        self.write_low = write_low_watermark
+        self.ranks = [
+            Rank(self.timing, self.organization.bankgroups, self.organization.banks_per_group)
+            for _ in range(self.organization.ranks)
+        ]
+        self.stats = ControllerStats()
+        self._read_backlog: deque[_Entry] = deque()
+        self._write_backlog: deque[_Entry] = deque()
+        self._read_q: list[_Entry] = []
+        self._write_q: list[_Entry] = []
+        self._draining_writes = False
+        self._bus_free = 0
+        self._bus_rank = -1
+        self._cmd_free = 0
+        self._now = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        """Decode and queue one request (arrival time from ``request.arrival``)."""
+        if not 0 <= request.addr < self.organization.capacity_bytes:
+            raise ValueError(
+                f"address {request.addr:#x} outside channel capacity "
+                f"{self.organization.capacity_bytes:#x}"
+            )
+        coords = self.mapping.decode(request.addr)
+        request.rank = coords["rank"]
+        request.bankgroup = coords["bankgroup"]
+        request.bank = coords["bank"]
+        request.row = coords["row"]
+        request.column = coords["column"]
+        entry = _Entry(request)
+        if request.is_write:
+            self._write_backlog.append(entry)
+        else:
+            self._read_backlog.append(entry)
+
+    @property
+    def pending(self) -> int:
+        return (
+            len(self._read_backlog)
+            + len(self._write_backlog)
+            + len(self._read_q)
+            + len(self._write_q)
+        )
+
+    def run_to_completion(self) -> ControllerStats:
+        """Service every queued request and return the run statistics."""
+        while self.pending:
+            self._admit()
+            if not self._read_q and not self._write_q:
+                self._now = max(self._now, self._next_arrival())
+                continue
+            self._step()
+        self.stats.finish_cycle = max(self.stats.finish_cycle, self._now)
+        return self.stats
+
+    def elapsed_seconds(self) -> float:
+        return self.timing.cycles_to_seconds(self.stats.finish_cycle)
+
+    # -- admission -----------------------------------------------------------
+
+    def _next_arrival(self) -> int:
+        candidates = []
+        if self._read_backlog:
+            candidates.append(self._read_backlog[0].request.arrival)
+        if self._write_backlog:
+            candidates.append(self._write_backlog[0].request.arrival)
+        return min(candidates) if candidates else self._now
+
+    def _admit(self) -> None:
+        """Move arrived backlog entries into the small working queues."""
+        while (
+            len(self._read_q) < self.window
+            and self._read_backlog
+            and self._read_backlog[0].request.arrival <= self._now
+        ):
+            self._read_q.append(self._read_backlog.popleft())
+        while (
+            len(self._write_q) < self.write_high
+            and self._write_backlog
+            and self._write_backlog[0].request.arrival <= self._now
+        ):
+            self._write_q.append(self._write_backlog.popleft())
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _active_queue(self) -> list[_Entry]:
+        write_pressure = len(self._write_q) + len(self._write_backlog)
+        reads_pending = bool(self._read_q)
+        if self._draining_writes:
+            if len(self._write_q) <= self.write_low and reads_pending:
+                self._draining_writes = False
+        elif not reads_pending or len(self._write_q) >= self.write_high:
+            self._draining_writes = write_pressure > 0
+        if self._draining_writes and self._write_q:
+            return self._write_q
+        return self._read_q if self._read_q else self._write_q
+
+    def _step(self) -> None:
+        self._maybe_refresh()
+        queue = self._active_queue()
+        if not queue:
+            return
+        best = None
+        for entry in queue[: self.window]:
+            cmd, when = self._next_command(entry.request)
+            ready = max(when, entry.request.arrival, self._cmd_free, self._now)
+            key = (ready, 0 if cmd == "col" else 1, entry.request.seq)
+            if best is None or key < best[0]:
+                best = (key, entry, cmd, ready)
+        _, entry, cmd, when = best
+        self._issue(entry, cmd, when, queue)
+
+    def _next_command(self, req: Request) -> tuple[str, int]:
+        """Return the next command for ``req`` and its earliest issue cycle."""
+        rank = self.ranks[req.rank]
+        bank = rank.bank(req.bankgroup, req.bank)
+        if bank.open_row == req.row:
+            return "col", self._column_earliest(req, rank, bank)
+        if not bank.is_open:
+            return "act", max(bank.earliest_act, rank.earliest_act(req.bankgroup))
+        return "pre", bank.earliest_pre
+
+    def _column_earliest(self, req: Request, rank: Rank, bank) -> int:
+        t = self.timing
+        if req.is_write:
+            when = max(bank.earliest_col, rank.earliest_write(req.bankgroup))
+            data_offset = t.cwl
+        else:
+            when = max(bank.earliest_col, rank.earliest_read(req.bankgroup))
+            data_offset = t.cl
+        bus_ready = self._bus_free
+        if self._bus_rank >= 0 and self._bus_rank != req.rank:
+            bus_ready += t.rtrs
+        return max(when, bus_ready - data_offset)
+
+    def _issue(self, entry: _Entry, cmd: str, when: int, queue: list[_Entry]) -> None:
+        t = self.timing
+        req = entry.request
+        rank = self.ranks[req.rank]
+        bank = rank.bank(req.bankgroup, req.bank)
+        self._now = max(self._now, when)
+        self._cmd_free = when + 1
+        if cmd == "act":
+            bank.activate(req.row, when, t)
+            rank.record_act(req.bankgroup, when)
+            self.stats.activates += 1
+            entry.needed_act = True
+            return
+        if cmd == "pre":
+            bank.precharge(when, t)
+            self.stats.precharges += 1
+            entry.needed_pre = True
+            return
+        # Column command: the request completes after its data burst.
+        data_offset = t.cwl if req.is_write else t.cl
+        burst_end = when + data_offset + t.burst_cycles
+        self._bus_free = burst_end
+        self._bus_rank = req.rank
+        self.stats.data_bus_cycles += t.burst_cycles
+        req.completion = burst_end
+        self.stats.finish_cycle = max(self.stats.finish_cycle, burst_end)
+        if req.is_write:
+            bank.write(when, t)
+            rank.record_write(req.bankgroup, when)
+            self.stats.writes += 1
+        else:
+            bank.read(when, t)
+            rank.record_read(req.bankgroup, when)
+            self.stats.reads += 1
+            self.stats.read_latency_sum += req.latency
+        if entry.needed_pre:
+            self.stats.row_conflicts += 1
+        elif entry.needed_act:
+            self.stats.row_misses += 1
+        else:
+            self.stats.row_hits += 1
+        queue.remove(entry)
+        if self.row_policy == "closed":
+            # Auto-precharge: the bank closes as soon as tRTP/tWR allows.
+            bank.precharge(bank.earliest_pre, t)
+            self.stats.precharges += 1
+
+    def _maybe_refresh(self) -> None:
+        for rank in self.ranks:
+            if self._now >= rank.next_refresh:
+                # REF blocks only the refreshing rank (its banks' earliest_act
+                # move past tRFC); other ranks keep using the shared bus.
+                rank.refresh(self._now)
+                self.stats.refreshes += 1

@@ -1,0 +1,125 @@
+"""Multi-channel DRAM system: channel interleaving + aggregate statistics.
+
+A :class:`DramSystem` models the baseline CPU memory system of the paper:
+several independent DDR4 channels behind one physical address space, with
+consecutive 64 B blocks interleaved across channels (the standard layout
+that time-multiplexes each channel across all the DIMMs behind it —
+Section 4.2's "fixed bandwidth per channel" argument).
+
+TensorDIMMs do *not* use this class for their NMP-local traffic; each
+TensorDIMM owns a private single-channel controller (see
+:mod:`repro.core.tensordimm`), which is exactly why the node's aggregate
+bandwidth scales with the DIMM count.
+"""
+
+from dataclasses import dataclass
+
+from .command import Request, TraceRequest
+from .controller import ControllerStats, MemoryController
+from .mapping import AddressMapping, DramOrganization
+from .timing import DDR4_3200, DramTiming
+
+
+@dataclass
+class SystemStats:
+    """Aggregate results of a multi-channel run."""
+
+    total_bytes: int
+    elapsed_seconds: float
+    channel_stats: list
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved system bandwidth in bytes/second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total_bytes / self.elapsed_seconds
+
+    @property
+    def row_hit_rate(self) -> float:
+        accesses = sum(s.accesses for s in self.channel_stats)
+        if not accesses:
+            return 0.0
+        return sum(s.row_hits for s in self.channel_stats) / accesses
+
+    @property
+    def mean_read_latency_cycles(self) -> float:
+        reads = sum(s.reads for s in self.channel_stats)
+        if not reads:
+            return 0.0
+        return sum(s.read_latency_sum for s in self.channel_stats) / reads
+
+
+class DramSystem:
+    """A physical address space striped over N independent DDR4 channels."""
+
+    def __init__(
+        self,
+        channels: int = 8,
+        timing: DramTiming = DDR4_3200,
+        organization: DramOrganization | None = None,
+        mapping_factory=None,
+        refresh_enabled: bool = True,
+        window: int = 32,
+    ):
+        if channels < 1:
+            raise ValueError("need at least one channel")
+        self.num_channels = channels
+        self.timing = timing
+        self.organization = organization or DramOrganization(ranks=4)
+        self.controllers = []
+        for _ in range(channels):
+            mapping = mapping_factory(self.organization) if mapping_factory else None
+            self.controllers.append(
+                MemoryController(
+                    timing,
+                    organization=self.organization,
+                    mapping=mapping,
+                    refresh_enabled=refresh_enabled,
+                    window=window,
+                )
+            )
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.num_channels * self.timing.peak_bandwidth
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_channels * self.organization.capacity_bytes
+
+    def route(self, addr: int) -> tuple[int, int]:
+        """Map a system byte address to (channel, channel-local address)."""
+        block = addr // 64
+        channel = block % self.num_channels
+        local = (block // self.num_channels) * 64 + (addr % 64)
+        return channel, local
+
+    def enqueue(self, addr: int, is_write: bool, cycle: int = 0) -> None:
+        """Queue a 64 B transaction at system address ``addr``."""
+        channel, local = self.route(addr)
+        self.controllers[channel].enqueue(
+            Request(addr=local, is_write=is_write, arrival=cycle)
+        )
+
+    def enqueue_trace(self, trace) -> None:
+        """Queue an iterable of :class:`TraceRequest` records."""
+        for record in trace:
+            self.enqueue(record.addr, record.is_write, record.cycle)
+
+    def run(self) -> SystemStats:
+        """Drain every channel and aggregate the results.
+
+        Channels share no timing state (separate command/address and data
+        wires), so they are simulated independently; the elapsed time is the
+        slowest channel's finish time.
+        """
+        stats: list[ControllerStats] = []
+        total_bytes = 0
+        elapsed = 0.0
+        for controller in self.controllers:
+            s = controller.run_to_completion()
+            stats.append(s)
+            total_bytes += s.total_bytes
+            elapsed = max(elapsed, controller.elapsed_seconds())
+        return SystemStats(total_bytes=total_bytes, elapsed_seconds=elapsed, channel_stats=stats)

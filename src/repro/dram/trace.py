@@ -1,0 +1,104 @@
+"""Memory-trace records and generators.
+
+The paper hooks a tracing function into the DL framework and feeds the
+resulting read/write streams to Ramulator (Section 5).  This module plays
+the same role: it turns tensor-operation descriptions into 64 B transaction
+streams, either for a conventional channel-interleaved memory system or for
+a single TensorDIMM's local controller.
+"""
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .command import TraceRequest
+
+WORD_BYTES = 64
+
+
+def streaming_trace(
+    base_addr: int, num_words: int, is_write: bool = False, start_cycle: int = 0
+) -> Iterator[TraceRequest]:
+    """Sequential 64 B accesses over [base, base + num_words * 64)."""
+    for i in range(num_words):
+        yield TraceRequest(start_cycle, base_addr + i * WORD_BYTES, is_write)
+
+
+def strided_trace(
+    base_addr: int, num_words: int, stride_words: int, is_write: bool = False
+) -> Iterator[TraceRequest]:
+    """Accesses separated by a fixed stride (in 64 B words)."""
+    for i in range(num_words):
+        yield TraceRequest(0, base_addr + i * stride_words * WORD_BYTES, is_write)
+
+
+def gather_trace(
+    table_base: int,
+    row_words: int,
+    rows: np.ndarray,
+    output_base: int,
+) -> Iterator[TraceRequest]:
+    """Embedding-gather traffic: read each looked-up row, write it out.
+
+    Models the GATHER semantics of Fig. 9(a) on a flat address space: each
+    gathered embedding is ``row_words`` consecutive 64 B words read from the
+    table and written to a dense output tensor.
+    """
+    out = 0
+    for row in np.asarray(rows).reshape(-1):
+        src = table_base + int(row) * row_words * WORD_BYTES
+        for w in range(row_words):
+            yield TraceRequest(0, src + w * WORD_BYTES, False)
+        for w in range(row_words):
+            yield TraceRequest(0, output_base + (out + w) * WORD_BYTES, True)
+        out += row_words
+
+
+def reduce_trace(
+    input1_base: int, input2_base: int, output_base: int, num_words: int
+) -> Iterator[TraceRequest]:
+    """Element-wise binary reduction traffic (Fig. 9b): 2 reads + 1 write."""
+    for i in range(num_words):
+        offset = i * WORD_BYTES
+        yield TraceRequest(0, input1_base + offset, False)
+        yield TraceRequest(0, input2_base + offset, False)
+        yield TraceRequest(0, output_base + offset, True)
+
+
+def average_trace(
+    input_base: int, average_num: int, output_base: int, num_outputs: int
+) -> Iterator[TraceRequest]:
+    """N-ary average traffic (Fig. 9c): N reads + 1 write per output word."""
+    for i in range(num_outputs):
+        for j in range(average_num):
+            yield TraceRequest(
+                0, input_base + (i * average_num + j) * WORD_BYTES, False
+            )
+        yield TraceRequest(0, output_base + i * WORD_BYTES, True)
+
+
+@dataclass
+class TraceStats:
+    """Summary of a trace (used by tests and the bench harness)."""
+
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes(self) -> int:
+        return self.total * WORD_BYTES
+
+
+def summarize(trace: Iterable[TraceRequest]) -> TraceStats:
+    reads = writes = 0
+    for record in trace:
+        if record.is_write:
+            writes += 1
+        else:
+            reads += 1
+    return TraceStats(reads=reads, writes=writes)

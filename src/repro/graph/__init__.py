@@ -1,0 +1,26 @@
+"""Model-DAG layer: operator graphs, scheduling, profiled execution."""
+
+from .executor import ExecutionTrace, GraphExecutor, OpExecution
+from .graph import GraphError, ModelGraph
+from .ops import (
+    DenseInput,
+    EmbeddingLookup,
+    Interaction,
+    MlpStack,
+    OpNode,
+    SparseInput,
+)
+
+__all__ = [
+    "DenseInput",
+    "EmbeddingLookup",
+    "ExecutionTrace",
+    "GraphError",
+    "GraphExecutor",
+    "Interaction",
+    "MlpStack",
+    "ModelGraph",
+    "OpExecution",
+    "OpNode",
+    "SparseInput",
+]

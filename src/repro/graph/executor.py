@@ -1,0 +1,179 @@
+"""Graph executor: run a model DAG op-by-op with latency attribution.
+
+This is the framework layer of Section 4.4: the DAG is compiled into an
+ordered schedule; each operator executes functionally (NumPy) and is priced
+on the design point's cost model, producing both the inference result and a
+per-op timeline (an operator-level profile of Fig. 13's stacked bars).
+
+For the TDIMM design point, embedding ops execute on a *real* functional
+TensorNode through :class:`~repro.core.runtime.TensorDimmRuntime` — the
+timeline's lookup entries are genuine TensorISA kernel launches.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compute.kernels import concat_time, mlp_time
+from ..models.recsys import RecommenderModel, RecSysConfig
+from ..system.params import DEFAULT_PARAMS, SystemParams
+from ..system.pipeline import host_lookup_time, tdimm_node_time
+from .graph import ModelGraph
+from .ops import DenseInput, EmbeddingLookup, Interaction, MlpStack, SparseInput
+
+
+@dataclass(frozen=True)
+class OpExecution:
+    """One operator's slot in the execution timeline."""
+
+    op: str
+    stage: str
+    start: float
+    seconds: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.seconds
+
+
+@dataclass
+class ExecutionTrace:
+    """The full timeline of one inference."""
+
+    records: list = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.records[-1].end if self.records else 0.0
+
+    def stage_seconds(self, stage: str) -> float:
+        return sum(r.seconds for r in self.records if r.stage == stage)
+
+    def by_stage(self) -> dict:
+        stages = {}
+        for record in self.records:
+            stages[record.stage] = stages.get(record.stage, 0.0) + record.seconds
+        return stages
+
+
+class GraphExecutor:
+    """Executes a workload's DAG under one design point's cost model."""
+
+    def __init__(
+        self,
+        config: RecSysConfig,
+        model: RecommenderModel,
+        design: str = "TDIMM",
+        params: SystemParams = DEFAULT_PARAMS,
+        runtime=None,
+    ):
+        if design not in ("CPU-only", "CPU-GPU", "TDIMM", "GPU-only"):
+            raise ValueError(f"unsupported design point {design!r}")
+        if design == "TDIMM" and runtime is None:
+            raise ValueError("TDIMM execution needs a TensorDimmRuntime")
+        self.config = config
+        self.model = model
+        self.design = design
+        self.params = params
+        self.runtime = runtime
+        self.graph = ModelGraph.from_config(config)
+        self._node_tables = None
+
+    # -- per-op functional execution -------------------------------------------
+
+    def _run_embedding(self, node: EmbeddingLookup, indices: np.ndarray):
+        if self.design == "TDIMM":
+            if self._node_tables is None:
+                self._node_tables = [
+                    self.runtime.create_table(t.name, t.weights)
+                    for t in self.model.tables
+                ]
+            before = self.runtime.total_seconds
+            layout, _ = self.runtime.embedding_forward(
+                self._node_tables[node.table], indices
+            )
+            value = self.runtime.node.read_tensor(layout)
+            return value, self.runtime.total_seconds - before
+        table = self.model.tables[node.table]
+        if indices.ndim == 2 and indices.shape[1] > 1:
+            value = table.lookup_pooled(indices, node.pooling)
+        else:
+            value = table.lookup(indices.reshape(-1))
+        device = self.params.cpu if self.design.startswith("CPU") else self.params.gpu
+        batch = value.shape[0]
+        per_table = host_lookup_time(device, self.config, batch) / self.config.num_tables
+        return value, per_table
+
+    def _op_cost(self, node, batch: int, value: np.ndarray) -> float:
+        compute_device = (
+            self.params.cpu if self.design == "CPU-only" else self.params.gpu
+        )
+        if isinstance(node, (SparseInput, DenseInput)):
+            return 0.0
+        if isinstance(node, Interaction):
+            return concat_time(compute_device, value.nbytes)
+        if isinstance(node, MlpStack):
+            return mlp_time(compute_device, batch, list(node.dims))
+        raise ValueError(f"unpriced op {node!r}")
+
+    # -- the schedule loop --------------------------------------------------------
+
+    def run(self, sparse: list, dense: np.ndarray):
+        """Execute one batched inference; returns (output, trace)."""
+        batch = dense.shape[0]
+        values: dict[str, np.ndarray] = {}
+        trace = ExecutionTrace()
+        clock = 0.0
+
+        # CPU-GPU pays the embedding copy once all lookups complete.
+        pending_transfer = 0
+
+        for node in self.graph.schedule():
+            if isinstance(node, SparseInput):
+                index = int(node.name.replace("sparse", ""))
+                values[node.name] = np.asarray(sparse[index])
+                continue
+            if isinstance(node, DenseInput):
+                values[node.name] = dense
+                continue
+            if isinstance(node, EmbeddingLookup):
+                value, seconds = self._run_embedding(
+                    node, values[node.inputs[0]]
+                )
+                if self.design == "CPU-GPU":
+                    pending_transfer += value.nbytes * self.config.pooling_fanin
+                elif self.design == "TDIMM":
+                    transfer = self.params.node_link.transfer_time(value.nbytes)
+                    trace.records.append(
+                        OpExecution(f"{node.name}.copy", "transfer", clock + seconds, transfer)
+                    )
+                    seconds += transfer
+            elif isinstance(node, Interaction):
+                if pending_transfer:
+                    transfer = self.params.host_link.transfer_time(pending_transfer)
+                    trace.records.append(
+                        OpExecution("memcpy", "transfer", clock, transfer)
+                    )
+                    clock += transfer
+                    pending_transfer = 0
+                inputs = [values[name] for name in node.inputs]
+                if node.combiner == "concat" or len(set(
+                    v.shape[-1] for v in inputs
+                )) > 1:
+                    value = np.concatenate(inputs, axis=-1)
+                elif node.combiner == "sum":
+                    value = np.sum(inputs, axis=0, dtype=np.float32)
+                else:
+                    value = inputs[0].copy()
+                    for v in inputs[1:]:
+                        value *= v
+                seconds = self._op_cost(node, batch, value)
+            elif isinstance(node, MlpStack):
+                value = self.model.mlp.forward(values[node.inputs[0]])
+                seconds = self._op_cost(node, batch, value)
+            else:
+                raise ValueError(f"unknown op {node!r}")
+            trace.records.append(OpExecution(node.name, node.stage, clock, seconds))
+            clock += seconds
+            values[node.name] = value
+        return values[self.graph.output].reshape(-1), trace

@@ -1,0 +1,123 @@
+"""The model DAG: construction, validation, scheduling.
+
+Builds the Fig. 2 topology (sparse inputs -> embedding lookups -> feature
+interaction -> MLP) as an explicit graph, validates it, and produces the
+topological execution order a framework would compile to kernel launches.
+"""
+
+import networkx as nx
+
+from ..models.recsys import RecSysConfig
+from .ops import (
+    DenseInput,
+    EmbeddingLookup,
+    Interaction,
+    MlpStack,
+    OpNode,
+    SparseInput,
+)
+
+
+class GraphError(ValueError):
+    """Raised for malformed model graphs."""
+
+
+class ModelGraph:
+    """A DAG of :class:`OpNode` operators."""
+
+    def __init__(self):
+        self._graph = nx.DiGraph()
+        self._nodes: dict[str, OpNode] = {}
+        self.output: str | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, node: OpNode) -> OpNode:
+        if node.name in self._nodes:
+            raise GraphError(f"duplicate node {node.name!r}")
+        for name in node.inputs:
+            if name not in self._nodes:
+                raise GraphError(
+                    f"{node.name!r} references unknown input {name!r}"
+                )
+        self._nodes[node.name] = node
+        self._graph.add_node(node.name)
+        for name in node.inputs:
+            self._graph.add_edge(name, node.name)
+        self.output = node.name
+        return node
+
+    @classmethod
+    def from_config(cls, config: RecSysConfig) -> "ModelGraph":
+        """Build the Fig. 2 topology for a Table 2 workload."""
+        graph = cls()
+        features = []
+        for t in range(config.num_tables):
+            sparse = graph.add(
+                SparseInput(f"sparse{t}", fanin=config.pooling_fanin)
+            )
+            lookup = graph.add(
+                EmbeddingLookup(
+                    f"embed{t}",
+                    inputs=(sparse.name,),
+                    table=t,
+                    embedding_dim=config.embedding_dim,
+                    pooling=config.pooling,
+                )
+            )
+            features.append(lookup.name)
+        interacted = graph.add(
+            Interaction("interact", inputs=tuple(features), combiner=config.combiner)
+        )
+        dense = graph.add(DenseInput("dense", features=config.dense_features))
+        mlp_in = graph.add(
+            Interaction("mlp_input", inputs=(interacted.name, dense.name))
+        )
+        graph.add(MlpStack("mlp", inputs=(mlp_in.name,), dims=tuple(config.mlp_dims)))
+        return graph
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> OpNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GraphError(f"unknown node {name!r}") from None
+
+    def nodes(self):
+        return list(self._nodes.values())
+
+    def consumers(self, name: str) -> list[str]:
+        return sorted(self._graph.successors(name))
+
+    def validate(self) -> None:
+        """Check acyclicity, connectivity, and a single output."""
+        if not self._nodes:
+            raise GraphError("empty graph")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise GraphError("graph contains a cycle")
+        sinks = [n for n in self._graph if self._graph.out_degree(n) == 0]
+        if len(sinks) != 1:
+            raise GraphError(f"expected exactly one output, found {sinks}")
+        undirected = self._graph.to_undirected()
+        if nx.number_connected_components(undirected) != 1:
+            raise GraphError("graph is not connected")
+
+    def schedule(self) -> list[OpNode]:
+        """Topological execution order (stable lexicographic tie-break)."""
+        self.validate()
+        order = nx.lexicographical_topological_sort(self._graph)
+        return [self._nodes[name] for name in order]
+
+    def infer_shapes(self, batch: int) -> dict:
+        """Propagate output shapes through the schedule."""
+        shapes: dict[str, tuple] = {}
+        for node in self.schedule():
+            shapes[node.name] = node.output_shape(shapes, batch)
+        return shapes

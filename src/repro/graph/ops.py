@@ -1,0 +1,91 @@
+"""Operator nodes for the model DAG (Section 4.4's framework view).
+
+Major DL frameworks encapsulate a model as a DAG of layers and compile it
+into a sequence of kernel launches; under TensorDIMM, embedding-layer nodes
+lower to TensorISA instructions instead of device kernels.  These dataclasses
+are the nodes of that DAG: each knows its output shape and which pipeline
+stage (lookup / transfer / interaction / dnn) its cost belongs to.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """One DAG node: a named operator with named input edges."""
+
+    name: str
+    inputs: tuple = ()
+
+    #: Which Fig. 13 bucket this op's time belongs in.
+    stage = "other"
+
+    def output_shape(self, input_shapes: dict, batch: int) -> tuple:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SparseInput(OpNode):
+    """A sparse-feature input: (batch,) or (batch, fanin) int32 indices."""
+
+    fanin: int = 1
+    stage = "other"
+
+    def output_shape(self, input_shapes, batch):
+        return (batch, self.fanin) if self.fanin > 1 else (batch,)
+
+
+@dataclass(frozen=True)
+class DenseInput(OpNode):
+    """A dense-feature input: (batch, features) float32."""
+
+    features: int = 13
+    stage = "other"
+
+    def output_shape(self, input_shapes, batch):
+        return (batch, self.features)
+
+
+@dataclass(frozen=True)
+class EmbeddingLookup(OpNode):
+    """Table lookup + within-table pooling: indices -> (batch, dim)."""
+
+    table: int = 0
+    embedding_dim: int = 512
+    pooling: str = "mean"
+    stage = "lookup"
+
+    def output_shape(self, input_shapes, batch):
+        return (batch, self.embedding_dim)
+
+
+@dataclass(frozen=True)
+class Interaction(OpNode):
+    """Cross-feature combination: concat or element-wise reduce."""
+
+    combiner: str = "concat"
+    stage = "interaction"
+
+    def output_shape(self, input_shapes, batch):
+        widths = [input_shapes[name][-1] for name in self.inputs]
+        if self.combiner == "concat":
+            return (batch, sum(widths))
+        if len(set(widths)) != 1:
+            raise ValueError("element-wise interaction needs equal widths")
+        return (batch, widths[0])
+
+
+@dataclass(frozen=True)
+class MlpStack(OpNode):
+    """The FC tower: (batch, dims[0]) -> (batch, dims[-1])."""
+
+    dims: tuple = ()
+    stage = "dnn"
+
+    def output_shape(self, input_shapes, batch):
+        if input_shapes[self.inputs[0]][-1] != self.dims[0]:
+            raise ValueError(
+                f"MLP expects width {self.dims[0]}, got "
+                f"{input_shapes[self.inputs[0]][-1]}"
+            )
+        return (batch, self.dims[-1])

@@ -1,0 +1,17 @@
+"""Interconnect substrate: links (PCIe/NVLink), NVSwitch, topologies."""
+
+from .link import NVLINK2_GPU, NVLINK2_LINK, PCIE3_X16, Link
+from .switch import Crossbar, Transfer
+from .topology import Endpoint, Topology, dgx_with_tensornode
+
+__all__ = [
+    "Crossbar",
+    "Endpoint",
+    "Link",
+    "NVLINK2_GPU",
+    "NVLINK2_LINK",
+    "PCIE3_X16",
+    "Topology",
+    "Transfer",
+    "dgx_with_tensornode",
+]

@@ -1,0 +1,62 @@
+"""NVSwitch-style crossbar model.
+
+NVSwitch is a high-radix non-blocking crossbar: any pair of endpoints can
+communicate at full per-port bandwidth as long as no port is oversubscribed
+(Section 2.2).  The model tracks per-port load for a set of concurrent
+transfers and reports each transfer's completion time under fair sharing.
+"""
+
+from dataclasses import dataclass, field
+
+from .link import Link
+
+
+@dataclass
+class Transfer:
+    """One point-to-point transfer through the switch."""
+
+    src: str
+    dst: str
+    num_bytes: int
+    finish_time: float = 0.0
+
+
+class Crossbar:
+    """A non-blocking switch with per-port bandwidth limits."""
+
+    def __init__(self, port_link: Link):
+        self.port_link = port_link
+        self.ports: set[str] = set()
+
+    def attach(self, name: str) -> None:
+        self.ports.add(name)
+
+    def transfer_time(self, src: str, dst: str, num_bytes: int) -> float:
+        """Latency of a single transfer with no contention."""
+        self._check(src, dst)
+        return self.port_link.transfer_time(num_bytes)
+
+    def concurrent_transfer_times(self, transfers: list[Transfer]) -> list[Transfer]:
+        """Completion time per transfer when they all start together.
+
+        Ports are the only shared resource (the fabric itself is
+        non-blocking); each port's bandwidth is divided equally among the
+        transfers using it, a standard fair-share approximation.
+        """
+        load: dict[str, int] = {}
+        for t in transfers:
+            self._check(t.src, t.dst)
+            load[t.src] = load.get(t.src, 0) + 1
+            load[t.dst] = load.get(t.dst, 0) + 1
+        for t in transfers:
+            share = max(load[t.src], load[t.dst])
+            effective = self.port_link.bandwidth / share
+            t.finish_time = self.port_link.latency + t.num_bytes / effective
+        return transfers
+
+    def _check(self, src: str, dst: str) -> None:
+        for port in (src, dst):
+            if port not in self.ports:
+                raise KeyError(f"port {port!r} is not attached to the switch")
+        if src == dst:
+            raise ValueError("source and destination ports must differ")

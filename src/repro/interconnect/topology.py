@@ -1,0 +1,75 @@
+"""System topologies: how GPUs, the CPU, and the TensorNode are wired.
+
+Mirrors Fig. 6(c): GPUs and the TensorNode hang off an NVSwitch fabric,
+while the CPU is reachable only over PCIe.  The topology answers one
+question for the system model: what link connects two endpoints, and hence
+how long a tensor transfer between them takes.
+"""
+
+from dataclasses import dataclass, field
+
+from .link import NVLINK2_GPU, PCIE3_X16, Link
+from .switch import Crossbar
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A device attached to the system fabric."""
+
+    name: str
+    kind: str  # "cpu" | "gpu" | "memory-node"
+
+
+class Topology:
+    """An undirected graph of endpoints with per-edge links."""
+
+    def __init__(self):
+        self.endpoints: dict[str, Endpoint] = {}
+        self._links: dict[frozenset, Link] = {}
+
+    def add(self, endpoint: Endpoint) -> None:
+        self.endpoints[endpoint.name] = endpoint
+
+    def connect(self, a: str, b: str, link: Link) -> None:
+        for name in (a, b):
+            if name not in self.endpoints:
+                raise KeyError(f"unknown endpoint {name!r}")
+        self._links[frozenset((a, b))] = link
+
+    def link(self, a: str, b: str) -> Link:
+        key = frozenset((a, b))
+        if key not in self._links:
+            raise KeyError(f"no link between {a!r} and {b!r}")
+        return self._links[key]
+
+    def transfer_time(self, src: str, dst: str, num_bytes: int) -> float:
+        return self.link(src, dst).transfer_time(num_bytes)
+
+
+def dgx_with_tensornode(
+    num_gpus: int = 8,
+    gpu_link: Link = NVLINK2_GPU,
+    host_link: Link = PCIE3_X16,
+    node_link: Link | None = None,
+) -> Topology:
+    """A DGX-style system with a TensorNode on the GPU-side fabric.
+
+    Every GPU talks to every other GPU and to the TensorNode at NVLink
+    bandwidth (through NVSwitch), and to the host CPU at PCIe bandwidth —
+    the configuration of Fig. 6(c).  ``node_link`` overrides the
+    node-to-GPU bandwidth for the Fig. 16 sensitivity sweep.
+    """
+    topo = Topology()
+    topo.add(Endpoint("cpu", "cpu"))
+    topo.add(Endpoint("tensornode", "memory-node"))
+    gpu_names = [f"gpu{i}" for i in range(num_gpus)]
+    for name in gpu_names:
+        topo.add(Endpoint(name, "gpu"))
+        topo.connect("cpu", name, host_link)
+    for i, a in enumerate(gpu_names):
+        for b in gpu_names[i + 1 :]:
+            topo.connect(a, b, gpu_link)
+        topo.connect(a, "tensornode", node_link or gpu_link)
+    # The CPU can also reach the node (management path) over PCIe.
+    topo.connect("cpu", "tensornode", host_link)
+    return topo

@@ -1,0 +1,34 @@
+"""Recommender-system workloads: embedding tables, layers, Table 2 models."""
+
+from .embedding import EmbeddingTable
+from .layers import Dense, Mlp, interact
+from .model_zoo import (
+    ALL_WORKLOADS,
+    FACEBOOK,
+    FOX,
+    NCF,
+    WORKLOADS_BY_NAME,
+    YOUTUBE,
+    ncf_model_bytes,
+    small_scale,
+    workload,
+)
+from .recsys import RecommenderModel, RecSysConfig
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "Dense",
+    "EmbeddingTable",
+    "FACEBOOK",
+    "FOX",
+    "Mlp",
+    "NCF",
+    "RecSysConfig",
+    "RecommenderModel",
+    "WORKLOADS_BY_NAME",
+    "YOUTUBE",
+    "interact",
+    "ncf_model_bytes",
+    "small_scale",
+    "workload",
+]

@@ -1,0 +1,76 @@
+"""Functional embedding tables and lookup semantics.
+
+This is the algorithm-level view of the embedding layer (Fig. 2): a table
+is a dense (rows x dim) float32 array; sparse features arrive as one-hot or
+multi-hot index lists; multi-hot lookups are pooled element-wise.  The
+TensorDIMM runtime implements the same semantics near-memory; tests verify
+the two agree bit-for-bit.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import BYTES_PER_ELEMENT
+
+
+@dataclass
+class EmbeddingTable:
+    """One embedding lookup table."""
+
+    name: str
+    weights: np.ndarray
+
+    def __post_init__(self):
+        self.weights = np.asarray(self.weights, dtype=np.float32)
+        if self.weights.ndim != 2:
+            raise ValueError("embedding tables are 2-D (rows x dim)")
+
+    @classmethod
+    def random(
+        cls, name: str, rows: int, dim: int, rng: np.random.Generator | None = None
+    ) -> "EmbeddingTable":
+        """A table with small random weights (trained weights don't affect
+        latency, which is all the paper evaluates)."""
+        rng = rng or np.random.default_rng(0)
+        scale = 1.0 / np.sqrt(dim)
+        return cls(name, rng.standard_normal((rows, dim)).astype(np.float32) * scale)
+
+    @property
+    def rows(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def bytes(self) -> int:
+        return self.weights.size * BYTES_PER_ELEMENT
+
+    # -- lookup semantics -------------------------------------------------------
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        """One-hot lookup: returns (batch, dim)."""
+        indices = self._check_indices(indices, ndim=1)
+        return self.weights[indices]
+
+    def lookup_pooled(self, indices: np.ndarray, combiner: str = "mean") -> np.ndarray:
+        """Multi-hot lookup with element-wise pooling: (batch, fanin) -> (batch, dim)."""
+        indices = self._check_indices(indices, ndim=2)
+        gathered = self.weights[indices]  # (batch, fanin, dim)
+        if combiner == "mean":
+            return gathered.mean(axis=1, dtype=np.float32)
+        if combiner == "sum":
+            return gathered.sum(axis=1, dtype=np.float32)
+        if combiner == "max":
+            return gathered.max(axis=1)
+        raise ValueError(f"unknown combiner {combiner!r}")
+
+    def _check_indices(self, indices: np.ndarray, ndim: int) -> np.ndarray:
+        indices = np.asarray(indices)
+        if indices.ndim != ndim:
+            raise ValueError(f"expected {ndim}-D indices, got shape {indices.shape}")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.rows):
+            raise IndexError("lookup index outside the table")
+        return indices.astype(np.int64)

@@ -1,0 +1,113 @@
+"""Dense layers and feature-interaction ops for the recommender models."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compute.kernels import linear, relu, sigmoid
+from ..config import BYTES_PER_ELEMENT
+
+
+@dataclass
+class Dense:
+    """One fully-connected layer with ReLU (or none/sigmoid on the output)."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+    activation: str = "relu"
+
+    @classmethod
+    def random(
+        cls,
+        d_in: int,
+        d_out: int,
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+    ) -> "Dense":
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / d_in)
+        return cls(
+            weight=rng.standard_normal((d_out, d_in)).astype(np.float32) * scale,
+            bias=np.zeros(d_out, dtype=np.float32),
+            activation=activation,
+        )
+
+    @property
+    def d_in(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def d_out(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def param_bytes(self) -> int:
+        return (self.weight.size + self.bias.size) * BYTES_PER_ELEMENT
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = linear(x, self.weight, self.bias)
+        if self.activation == "relu":
+            return relu(y)
+        if self.activation == "sigmoid":
+            return sigmoid(y)
+        if self.activation == "none":
+            return y
+        raise ValueError(f"unknown activation {self.activation!r}")
+
+
+@dataclass
+class Mlp:
+    """A stack of Dense layers (the FC/MLP blocks of Table 2)."""
+
+    layers: list[Dense]
+
+    @classmethod
+    def random(
+        cls, dims: list[int], rng: np.random.Generator | None = None, final: str = "none"
+    ) -> "Mlp":
+        """Build an MLP through ``dims`` (e.g. [1024, 512, 512, 1])."""
+        if len(dims) < 2:
+            raise ValueError("an MLP needs at least input and output dims")
+        rng = rng or np.random.default_rng(0)
+        layers = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            last = i == len(dims) - 2
+            layers.append(Dense.random(d_in, d_out, final if last else "relu", rng))
+        return cls(layers)
+
+    @property
+    def dims(self) -> list[int]:
+        return [self.layers[0].d_in] + [layer.d_out for layer in self.layers]
+
+    @property
+    def param_bytes(self) -> int:
+        return sum(layer.param_bytes for layer in self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+
+def interact(features: list[np.ndarray], combiner: str) -> np.ndarray:
+    """Feature interaction across per-table embedding outputs (Fig. 2 step 2).
+
+    ``concat`` stacks features; ``sum``/``mul`` reduce them element-wise
+    (tensor-wide reductions — the ops TensorDIMM accelerates near-memory).
+    """
+    if not features:
+        raise ValueError("need at least one feature tensor")
+    first = features[0]
+    for f in features[1:]:
+        if f.shape != first.shape:
+            raise ValueError("interaction requires equally-shaped features")
+    if combiner == "concat":
+        return np.concatenate(features, axis=-1)
+    if combiner == "sum":
+        return np.sum(features, axis=0, dtype=np.float32)
+    if combiner == "mul":
+        out = features[0].copy()
+        for f in features[1:]:
+            out *= f
+        return out
+    raise ValueError(f"unknown combiner {combiner!r}")

@@ -1,0 +1,118 @@
+"""The four evaluated workloads (Table 2) and the Fig. 3 sizing study.
+
+Table 2 of the paper:
+
+=========  =============  =============  ============
+Network    Lookup tables  Max reduction  FC/MLP layers
+=========  =============  =============  ============
+NCF        4              2              4
+YouTube    2              50             4
+Fox        2              50             1
+Facebook   8              25             6
+=========  =============  =============  ============
+
+All use a default embedding dimension of 512 and batch sizes of 1-128
+(Section 5).  ``rows_per_table`` defaults to a functional-simulation scale;
+latency depends only on per-batch traffic, not on table height.
+"""
+
+from dataclasses import replace
+
+from ..config import BYTES_PER_ELEMENT, DEFAULT_EMBEDDING_DIM
+from .recsys import RecSysConfig
+
+#: Neural collaborative filtering (MLPerf): user/item embeddings for the GMF
+#: and MLP paths; the GMF pair is combined with an element-wise product
+#: (max reduction 2 across tables).
+NCF = RecSysConfig(
+    name="NCF",
+    num_tables=4,
+    max_reduction=2,
+    mlp_layers=4,
+    combiner="mul",
+)
+
+#: YouTube's candidate-generation/ranking network: watch-history and search
+#: embeddings averaged over ~50 events, concatenated, 4 FC layers.
+YOUTUBE = RecSysConfig(
+    name="YouTube",
+    num_tables=2,
+    max_reduction=50,
+    mlp_layers=4,
+    combiner="concat",
+)
+
+#: Fox's theatrical-release model: like YouTube but a single FC layer.
+FOX = RecSysConfig(
+    name="Fox",
+    num_tables=2,
+    max_reduction=50,
+    mlp_layers=1,
+    combiner="concat",
+)
+
+#: Facebook's DLRM-style model: 8 sparse-feature tables pooled 25-wide,
+#: concatenated with dense features into a 6-layer MLP.
+FACEBOOK = RecSysConfig(
+    name="Facebook",
+    num_tables=8,
+    max_reduction=25,
+    mlp_layers=6,
+    combiner="concat",
+)
+
+ALL_WORKLOADS = (NCF, YOUTUBE, FOX, FACEBOOK)
+
+WORKLOADS_BY_NAME = {w.name: w for w in ALL_WORKLOADS}
+
+
+def workload(name: str) -> RecSysConfig:
+    """Fetch a Table 2 workload by name."""
+    try:
+        return WORKLOADS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS_BY_NAME))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def small_scale(config: RecSysConfig, rows: int = 2000) -> RecSysConfig:
+    """A functionally-identical config with small tables (for tests/examples)."""
+    return replace(config, rows_per_table=rows)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — model size growth of NCF
+# ---------------------------------------------------------------------------
+
+#: Fig. 3's experiment assumes 5 M users and 5 M items per lookup table.
+FIG3_USERS = 5_000_000
+FIG3_ITEMS = 5_000_000
+
+
+def ncf_model_bytes(
+    mlp_dim: int,
+    embedding_dim: int,
+    users: int = FIG3_USERS,
+    items: int = FIG3_ITEMS,
+    mlp_layers: int = 4,
+) -> int:
+    """Model size of an NCF recommender (Fig. 3's y-axis).
+
+    NCF keeps separate user and item embeddings for its GMF and MLP paths
+    (4 tables total); the MLP tower halves its width layer by layer from
+    ``mlp_dim``.  Embedding capacity dwarfs the MLP for every point in the
+    paper's sweep, which is the figure's message.
+    """
+    if mlp_dim < 1 or embedding_dim < 1:
+        raise ValueError("dimensions must be positive")
+    # GMF user + GMF item + MLP user + MLP item tables.
+    table_entries = 2 * (users + items)
+    embedding_bytes = table_entries * embedding_dim * BYTES_PER_ELEMENT
+    mlp_bytes = 0
+    d_in = 2 * embedding_dim  # concat of user/item MLP embeddings
+    width = mlp_dim
+    for _ in range(mlp_layers):
+        mlp_bytes += (d_in * width + width) * BYTES_PER_ELEMENT
+        d_in, width = width, max(1, width // 2)
+    mlp_bytes += (d_in + 1) * BYTES_PER_ELEMENT  # final logit
+    return embedding_bytes + mlp_bytes

@@ -1,0 +1,193 @@
+"""DNN-based recommender system models (Fig. 2's topology).
+
+A model is: per-table embedding lookups (one- or multi-hot) -> feature
+interaction (concat or element-wise reduction) -> an MLP stack -> event
+probability.  :class:`RecSysConfig` captures the Table 2 knobs plus the
+traffic accounting the system-level latency model needs;
+:class:`RecommenderModel` is the functional NumPy implementation, which can
+run its embedding layers either locally or through a TensorDIMM runtime.
+"""
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..config import BYTES_PER_ELEMENT, DEFAULT_EMBEDDING_DIM
+from .embedding import EmbeddingTable
+from .layers import Mlp, interact
+
+
+@dataclass(frozen=True)
+class RecSysConfig:
+    """Topology and traffic profile of one recommender workload.
+
+    ``num_tables`` / ``max_reduction`` / ``mlp_layers`` are the Table 2
+    columns.  ``max_reduction`` is the element-wise reduction fan-in of the
+    embedding layer: for multi-hot models (YouTube/Fox/Facebook) it is the
+    per-table pooling width; for NCF it is the user x item pair combined
+    with an element-wise product.
+    """
+
+    name: str
+    num_tables: int
+    max_reduction: int
+    mlp_layers: int
+    embedding_dim: int = DEFAULT_EMBEDDING_DIM
+    rows_per_table: int = 100_000
+    mlp_width: int = 512
+    combiner: str = "concat"  # cross-table interaction
+    pooling: str = "mean"  # within-table multi-hot pooling
+    dense_features: int = 13
+
+    def __post_init__(self):
+        if self.num_tables < 1 or self.max_reduction < 1 or self.mlp_layers < 1:
+            raise ValueError("topology parameters must be positive")
+        if self.combiner not in ("concat", "sum", "mul"):
+            raise ValueError(f"unknown combiner {self.combiner!r}")
+
+    # -- derived shapes ---------------------------------------------------------
+
+    @property
+    def pooling_fanin(self) -> int:
+        """Multi-hot lookups per table per sample.
+
+        For element-wise cross-table combiners (NCF's user x item product)
+        the reduction fan-in is realised *across* tables, so each table sees
+        one-hot lookups; otherwise ``max_reduction`` is the within-table
+        multi-hot pooling width (YouTube's 50 watched videos).
+        """
+        if self.combiner in ("sum", "mul"):
+            return 1
+        return self.max_reduction
+
+    @property
+    def interaction_width(self) -> int:
+        """Embedding elements per sample entering the MLP."""
+        if self.combiner == "concat":
+            return self.num_tables * self.embedding_dim
+        return self.embedding_dim
+
+    @property
+    def mlp_dims(self) -> list[int]:
+        """The FC stack: interaction output (+ dense features) -> ... -> 1."""
+        dims = [self.interaction_width + self.dense_features]
+        dims.extend([self.mlp_width] * (self.mlp_layers - 1))
+        dims.append(1)
+        return dims
+
+    # -- traffic accounting (used by repro.system) --------------------------------
+
+    @property
+    def embedding_bytes(self) -> int:
+        return self.embedding_dim * BYTES_PER_ELEMENT
+
+    def lookups_per_sample(self) -> int:
+        """Total embedding rows gathered per inference sample."""
+        return self.num_tables * self.pooling_fanin
+
+    def gathered_bytes(self, batch: int) -> int:
+        """Bytes of raw embeddings read out of the lookup tables."""
+        return batch * self.num_tables * self.pooling_fanin * self.embedding_bytes
+
+    def reduced_bytes(self, batch: int) -> int:
+        """Bytes of embeddings after near-memory reduction (what TDIMM ships)."""
+        if self.combiner == "concat":
+            return batch * self.num_tables * self.embedding_bytes
+        return batch * self.embedding_bytes
+
+    def model_bytes(self) -> int:
+        """Total parameter footprint (tables dominate, Fig. 3)."""
+        table_bytes = self.num_tables * self.rows_per_table * self.embedding_bytes
+        mlp_bytes = 0
+        dims = self.mlp_dims
+        for d_in, d_out in zip(dims[:-1], dims[1:]):
+            mlp_bytes += (d_in * d_out + d_out) * BYTES_PER_ELEMENT
+        return table_bytes + mlp_bytes
+
+    def scaled_embedding(self, factor: int) -> "RecSysConfig":
+        """The Fig. 12/15/16 sweeps: embeddings ``factor`` x wider."""
+        if factor < 1:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            name=f"{self.name}x{factor}" if factor > 1 else self.name,
+            embedding_dim=self.embedding_dim * factor,
+        )
+
+
+class RecommenderModel:
+    """A functional recommender with real (random) weights."""
+
+    def __init__(self, config: RecSysConfig, rng: np.random.Generator | None = None):
+        self.config = config
+        rng = rng or np.random.default_rng(1234)
+        self.tables = [
+            EmbeddingTable.random(
+                f"{config.name}.table{i}", config.rows_per_table, config.embedding_dim, rng
+            )
+            for i in range(config.num_tables)
+        ]
+        self.mlp = Mlp.random(config.mlp_dims, rng, final="sigmoid")
+
+    # -- input generation -----------------------------------------------------------
+
+    def sample_inputs(
+        self, batch: int, rng: np.random.Generator | None = None
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Random sparse indices (per table) and dense features for a batch."""
+        rng = rng or np.random.default_rng(99)
+        fanin = self.config.pooling_fanin
+        sparse = []
+        for _ in self.tables:
+            shape = (batch, fanin) if fanin > 1 else (batch,)
+            sparse.append(rng.integers(0, self.config.rows_per_table, shape).astype(np.int32))
+        dense = rng.standard_normal((batch, self.config.dense_features)).astype(np.float32)
+        return sparse, dense
+
+    # -- forward passes ---------------------------------------------------------------
+
+    def embed(self, sparse: list[np.ndarray]) -> list[np.ndarray]:
+        """Per-table embedding features (lookup + within-table pooling)."""
+        features = []
+        for table, idx in zip(self.tables, sparse):
+            if idx.ndim == 2 and idx.shape[1] > 1:
+                features.append(table.lookup_pooled(idx, self.config.pooling))
+            else:
+                features.append(table.lookup(idx.reshape(-1)))
+        return features
+
+    def forward(self, sparse: list[np.ndarray], dense: np.ndarray) -> np.ndarray:
+        """Full inference: embeddings -> interaction -> MLP -> probability."""
+        features = self.embed(sparse)
+        interacted = interact(features, self.config.combiner)
+        x = np.concatenate([interacted, dense], axis=-1)
+        return self.mlp.forward(x).reshape(-1)
+
+    def forward_tensordimm(self, runtime, sparse: list[np.ndarray], dense: np.ndarray):
+        """Inference with the embedding layer offloaded to a TensorNode.
+
+        Tables are uploaded on first use; GATHER/AVERAGE/REDUCE run
+        near-memory and only the reduced tensors are read back (the data
+        movement the paper's Fig. 5(b) describes).  Returns the same
+        probabilities as :meth:`forward`.
+        """
+        if not hasattr(self, "_node_tables"):
+            self._node_tables = [
+                runtime.create_table(t.name, t.weights) for t in self.tables
+            ]
+        features = []
+        handles = []
+        for layout, idx in zip(self._node_tables, sparse):
+            out, _ = runtime.embedding_forward(layout, idx)
+            handles.append(out)
+        if self.config.combiner in ("sum", "mul"):
+            from ..core.isa import ReduceOp
+
+            op = ReduceOp.SUM if self.config.combiner == "sum" else ReduceOp.MUL
+            combined, _ = runtime.combine(handles, op=op)
+            interacted = runtime.node.read_tensor(combined)
+        else:
+            features = [runtime.node.read_tensor(h) for h in handles]
+            interacted = interact(features, "concat")
+        x = np.concatenate([interacted, dense], axis=-1)
+        return self.mlp.forward(x).reshape(-1)

@@ -1,0 +1,28 @@
+"""Power and area models: DDR4 IDD power, NMP-core FPGA area, node power."""
+
+from .dram_power import DimmPowerModel, DramDevicePower
+from .nmp_area import (
+    ResourceUsage,
+    nmp_core_total,
+    nmp_core_utilization,
+    sram_queues,
+    vector_alu,
+    vector_fpu,
+)
+from .node_power import NodePowerReport, tensornode_power
+from .targets import XCVU9P, FpgaDevice
+
+__all__ = [
+    "DimmPowerModel",
+    "DramDevicePower",
+    "FpgaDevice",
+    "NodePowerReport",
+    "ResourceUsage",
+    "XCVU9P",
+    "nmp_core_total",
+    "nmp_core_utilization",
+    "sram_queues",
+    "tensornode_power",
+    "vector_alu",
+    "vector_fpu",
+]

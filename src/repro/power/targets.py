@@ -1,0 +1,24 @@
+"""FPGA device resource inventories."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource counts of one FPGA part."""
+
+    name: str
+    luts: int
+    ffs: int
+    dsps: int
+    bram36: int
+
+
+#: Xilinx Virtex UltraScale+ XCVU9P — the VCU1525 board's part (Table 3).
+XCVU9P = FpgaDevice(
+    name="XCVU9P",
+    luts=1_182_240,
+    ffs=2_364_480,
+    dsps=6_840,
+    bram36=2_160,
+)

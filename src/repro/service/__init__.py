@@ -1,0 +1,15 @@
+"""Inference-service layer: queueing/batching simulation over design points."""
+
+from .simulator import (
+    InferenceService,
+    ServicePolicy,
+    ServiceStats,
+    compare_designs,
+)
+
+__all__ = [
+    "InferenceService",
+    "ServicePolicy",
+    "ServiceStats",
+    "compare_designs",
+]

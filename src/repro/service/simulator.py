@@ -1,0 +1,180 @@
+"""Inference-service simulation: queueing + batching on one design point.
+
+The paper motivates its batch range (1-100) with Facebook's observation
+that datacenter recommenders serve small, latency-critical batches.  This
+module closes the loop: a discrete-event simulation of an inference server
+that accumulates arriving requests into batches (size- and deadline-bound)
+and serves them with the latency model of a chosen design point — so the
+architectural comparison can be read as tail latency and throughput, not
+just per-batch time.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.recsys import RecSysConfig
+from ..system.design_points import evaluate
+from ..system.params import DEFAULT_PARAMS, SystemParams
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Batching policy: dispatch at ``max_batch`` or after ``max_wait``."""
+
+    max_batch: int = 64
+    max_wait: float = 1e-3
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max batch must be positive")
+        if self.max_wait < 0:
+            raise ValueError("max wait cannot be negative")
+
+
+@dataclass
+class ServiceStats:
+    """Results of one service simulation."""
+
+    request_latencies: list = field(default_factory=list)
+    batch_sizes: list = field(default_factory=list)
+    busy_seconds: float = 0.0
+    span_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return len(self.request_latencies)
+
+    @property
+    def throughput(self) -> float:
+        """Requests per second over the simulated span."""
+        if self.span_seconds <= 0:
+            return 0.0
+        return self.requests / self.span_seconds
+
+    @property
+    def utilization(self) -> float:
+        if self.span_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / self.span_seconds)
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    def latency_percentile(self, pct: float) -> float:
+        if not self.request_latencies:
+            return 0.0
+        return float(np.percentile(self.request_latencies, pct))
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99)
+
+
+class InferenceService:
+    """A single-server queueing model over one design point."""
+
+    def __init__(
+        self,
+        config: RecSysConfig,
+        design: str,
+        policy: ServicePolicy | None = None,
+        params: SystemParams = DEFAULT_PARAMS,
+    ):
+        self.config = config
+        self.design = design
+        self.policy = policy or ServicePolicy()
+        self.params = params
+        self._latency_cache: dict[int, float] = {}
+
+    def batch_latency(self, batch: int) -> float:
+        """Service time of one batch (memoised design-point evaluation)."""
+        if batch not in self._latency_cache:
+            self._latency_cache[batch] = evaluate(
+                self.design, self.config, batch, self.params
+            ).total
+        return self._latency_cache[batch]
+
+    def simulate(
+        self,
+        arrival_rate: float,
+        duration: float = 0.25,
+        seed: int = 0,
+    ) -> ServiceStats:
+        """Poisson arrivals at ``arrival_rate`` req/s for ``duration`` s.
+
+        Requests queue; a batch dispatches when it reaches ``max_batch`` or
+        when its oldest request has waited ``max_wait``; the server runs one
+        batch at a time.
+        """
+        if arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        rng = np.random.default_rng(seed)
+        # Pre-draw the arrival process.
+        arrivals = []
+        t = 0.0
+        while t < duration:
+            t += rng.exponential(1.0 / arrival_rate)
+            if t < duration:
+                arrivals.append(t)
+        stats = ServiceStats()
+        if not arrivals:
+            return stats
+
+        queue: list[float] = []  # arrival times of waiting requests
+        server_free = 0.0
+        i = 0
+        finish_last = 0.0
+        while i < len(arrivals) or queue:
+            if not queue:
+                queue.append(arrivals[i])
+                i += 1
+            # Admit everything that arrives before the batch must dispatch.
+            deadline = queue[0] + self.policy.max_wait
+            while (
+                i < len(arrivals)
+                and len(queue) < self.policy.max_batch
+                and arrivals[i] <= max(deadline, server_free)
+            ):
+                queue.append(arrivals[i])
+                i += 1
+            batch = queue[: self.policy.max_batch]
+            del queue[: len(batch)]
+            dispatch = max(server_free, deadline if len(batch) < self.policy.max_batch
+                           else batch[-1])
+            dispatch = max(dispatch, batch[-1])
+            service = self.batch_latency(len(batch))
+            finish = dispatch + service
+            server_free = finish
+            finish_last = finish
+            stats.batch_sizes.append(len(batch))
+            stats.busy_seconds += service
+            stats.request_latencies.extend(finish - a for a in batch)
+        stats.span_seconds = finish_last
+        return stats
+
+
+def compare_designs(
+    config: RecSysConfig,
+    arrival_rate: float,
+    designs=("CPU-only", "CPU-GPU", "PMEM", "TDIMM", "GPU-only"),
+    policy: ServicePolicy | None = None,
+    params: SystemParams = DEFAULT_PARAMS,
+    duration: float = 0.25,
+    seed: int = 0,
+) -> dict:
+    """Run the same arrival trace against every design point."""
+    return {
+        design: InferenceService(config, design, policy, params).simulate(
+            arrival_rate, duration, seed
+        )
+        for design in designs
+    }

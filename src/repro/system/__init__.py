@@ -1,0 +1,22 @@
+"""End-to-end system models: the five design points of Section 6."""
+
+from .design_points import (
+    DESIGN_NAMES,
+    DESIGN_POINTS,
+    evaluate,
+    evaluate_all,
+    normalized_performance,
+)
+from .params import DEFAULT_PARAMS, SystemParams
+from .result import LatencyBreakdown
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "DESIGN_NAMES",
+    "DESIGN_POINTS",
+    "LatencyBreakdown",
+    "SystemParams",
+    "evaluate",
+    "evaluate_all",
+    "normalized_performance",
+]

@@ -1,0 +1,31 @@
+"""Hybrid CPU-GPU design point (Section 3.2).
+
+Tables stay in host DDR4; the CPU gathers the raw embeddings and ships the
+*unreduced* tensors to the GPU over PCIe with cudaMemcpy; the GPU then
+performs the tensor manipulations and the DNN.  The PCIe copy of N
+embeddings per reduction is this design's Achilles heel (Fig. 5a).
+"""
+
+from ..models.recsys import RecSysConfig
+from .params import DEFAULT_PARAMS, SystemParams
+from .pipeline import dnn_time, host_lookup_time, interaction_time_raw
+from .result import LatencyBreakdown
+
+
+def evaluate(
+    config: RecSysConfig, batch: int, params: SystemParams = DEFAULT_PARAMS
+) -> LatencyBreakdown:
+    """Latency of one batched inference on the hybrid CPU-GPU system."""
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    gathered = config.gathered_bytes(batch)
+    return LatencyBreakdown(
+        design="CPU-GPU",
+        workload=config.name,
+        batch=batch,
+        lookup=host_lookup_time(params.cpu, config, batch),
+        transfer=params.host_link.transfer_time(gathered),
+        interaction=interaction_time_raw(params.gpu, config, batch),
+        dnn=dnn_time(params.gpu, config, batch),
+        other=params.gpu_framework_overhead,
+    )

@@ -1,0 +1,29 @@
+"""CPU-only design point (Section 3.2): everything runs on the host.
+
+Tables live in host DDR4; lookups, feature interaction, and the whole DNN
+execute on the CPU.  No PCIe transfer is paid, but the DNN step runs on a
+device with ~5x less compute and ~4x less bandwidth than the GPU.
+"""
+
+from ..models.recsys import RecSysConfig
+from .params import DEFAULT_PARAMS, SystemParams
+from .pipeline import dnn_time, host_lookup_time, interaction_time_raw
+from .result import LatencyBreakdown
+
+
+def evaluate(
+    config: RecSysConfig, batch: int, params: SystemParams = DEFAULT_PARAMS
+) -> LatencyBreakdown:
+    """Latency of one batched inference on the CPU-only system."""
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    return LatencyBreakdown(
+        design="CPU-only",
+        workload=config.name,
+        batch=batch,
+        lookup=host_lookup_time(params.cpu, config, batch),
+        transfer=0.0,
+        interaction=interaction_time_raw(params.cpu, config, batch),
+        dnn=dnn_time(params.cpu, config, batch),
+        other=params.cpu_framework_overhead,
+    )

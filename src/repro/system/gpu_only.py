@@ -1,0 +1,30 @@
+"""GPU-only design point (Section 3.2): the unbuildable oracle.
+
+Assumes the GPU's local HBM could hold the entire embedding model (it
+cannot — that is the paper's premise).  Everything runs locally at 900 GB/s
+with no transfers; TDIMM is measured against this upper bound (Fig. 14's
+normalisation).
+"""
+
+from ..models.recsys import RecSysConfig
+from .params import DEFAULT_PARAMS, SystemParams
+from .pipeline import dnn_time, host_lookup_time, interaction_time_raw
+from .result import LatencyBreakdown
+
+
+def evaluate(
+    config: RecSysConfig, batch: int, params: SystemParams = DEFAULT_PARAMS
+) -> LatencyBreakdown:
+    """Latency of one batched inference on the oracular GPU-only system."""
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    return LatencyBreakdown(
+        design="GPU-only",
+        workload=config.name,
+        batch=batch,
+        lookup=host_lookup_time(params.gpu, config, batch),
+        transfer=0.0,
+        interaction=interaction_time_raw(params.gpu, config, batch),
+        dnn=dnn_time(params.gpu, config, batch),
+        other=params.gpu_framework_overhead,
+    )

@@ -1,0 +1,38 @@
+"""PMEM design point (Section 6): pooled memory *without* NMP.
+
+The DIMM pool sits on the NVLink fabric like a TensorNode, but its DIMMs
+are ordinary: no near-memory reduction.  The GPU still benefits from the
+9x faster link, but every raw embedding must cross it, and the pool's
+internal bandwidth is channel-limited like any conventional memory system
+(the paper uses PMEM to isolate how much of TDIMM's win comes from NMP
+versus from the faster interconnect).
+"""
+
+from ..models.recsys import RecSysConfig
+from .params import DEFAULT_PARAMS, SystemParams
+from .pipeline import dnn_time, interaction_time_raw
+from .result import LatencyBreakdown
+
+
+def evaluate(
+    config: RecSysConfig, batch: int, params: SystemParams = DEFAULT_PARAMS
+) -> LatencyBreakdown:
+    """Latency of one batched inference with a non-NMP memory pool."""
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    gathered = config.gathered_bytes(batch)
+    # The pool streams rows out of its (channel-limited) DIMMs; the GPU
+    # drives the remote gathers with one kernel per lookup table.
+    lookup = gathered / params.pool_bandwidth + config.num_tables * params.gpu.kernel_overhead
+    # Every raw embedding crosses the node<->GPU link.
+    transfer = params.node_link.transfer_time(gathered)
+    return LatencyBreakdown(
+        design="PMEM",
+        workload=config.name,
+        batch=batch,
+        lookup=lookup,
+        transfer=transfer,
+        interaction=interaction_time_raw(params.gpu, config, batch),
+        dnn=dnn_time(params.gpu, config, batch),
+        other=params.gpu_framework_overhead,
+    )

@@ -1,0 +1,54 @@
+"""Latency results for end-to-end inference (Fig. 13's breakdown)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-stage inference latency in seconds.
+
+    The paper's Fig. 13 buckets are: Embedding lookup, cudaMemcpy,
+    Computation, Else.  Here ``interaction`` and ``dnn`` are kept separate
+    (both fall into the paper's "Computation" bucket) so ablations can tell
+    feature interaction apart from the MLP stack.
+    """
+
+    design: str
+    workload: str
+    batch: int
+    lookup: float
+    transfer: float
+    interaction: float
+    dnn: float
+    other: float
+
+    @property
+    def computation(self) -> float:
+        """The paper's "Computation" bucket."""
+        return self.interaction + self.dnn
+
+    @property
+    def total(self) -> float:
+        return self.lookup + self.transfer + self.interaction + self.dnn + self.other
+
+    def speedup_over(self, other: "LatencyBreakdown") -> float:
+        """How much faster this design is than ``other`` (>1 means faster)."""
+        if self.total <= 0:
+            raise ValueError("cannot compute speedup of a zero-latency result")
+        return other.total / self.total
+
+    def normalized_to(self, reference: "LatencyBreakdown") -> float:
+        """Performance normalised to a reference design (Fig. 4/14's y-axis)."""
+        return reference.total / self.total
+
+    def fractions(self) -> dict:
+        """Stage shares of the total (Fig. 13 stacks)."""
+        total = self.total
+        if total <= 0:
+            return {"lookup": 0.0, "transfer": 0.0, "computation": 0.0, "other": 0.0}
+        return {
+            "lookup": self.lookup / total,
+            "transfer": self.transfer / total,
+            "computation": self.computation / total,
+            "other": self.other / total,
+        }

@@ -1,0 +1,36 @@
+"""TDIMM design point (Section 6): the full TensorDIMM + TensorNode system.
+
+Embedding tables live in the TensorNode; GATHER/AVERAGE/REDUCE execute
+near-memory at the node's aggregate DIMM bandwidth; only the *reduced*
+tensor crosses NVLink (Fig. 5b); the GPU runs the DNN.
+"""
+
+from ..models.recsys import RecSysConfig
+from .params import DEFAULT_PARAMS, SystemParams
+from .pipeline import dnn_time, index_bytes, interaction_time_reduced, tdimm_node_time
+from .result import LatencyBreakdown
+
+
+def evaluate(
+    config: RecSysConfig, batch: int, params: SystemParams = DEFAULT_PARAMS
+) -> LatencyBreakdown:
+    """Latency of one batched inference on the TensorDIMM system."""
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    node_seconds, _ = tdimm_node_time(config, batch, params)
+    reduced = config.reduced_bytes(batch)
+    # Indices travel GPU -> node with the instruction; the reduced tensor
+    # travels back.  Both ride NVLink.
+    transfer = params.node_link.transfer_time(reduced) + params.node_link.transfer_time(
+        index_bytes(config, batch)
+    )
+    return LatencyBreakdown(
+        design="TDIMM",
+        workload=config.name,
+        batch=batch,
+        lookup=node_seconds,
+        transfer=transfer,
+        interaction=interaction_time_reduced(params.gpu, config, batch),
+        dnn=dnn_time(params.gpu, config, batch),
+        other=params.gpu_framework_overhead,
+    )

@@ -1,0 +1,12 @@
+"""Workload generation: sparse-index distributions and request batching."""
+
+from .distributions import UniformSampler, ZipfianSampler, make_sampler
+from .requests import InferenceBatch, RequestGenerator
+
+__all__ = [
+    "InferenceBatch",
+    "RequestGenerator",
+    "UniformSampler",
+    "ZipfianSampler",
+    "make_sampler",
+]

@@ -1,0 +1,68 @@
+"""Sparse-index samplers for embedding lookups.
+
+The paper's production traces are proprietary, so lookup indices are drawn
+synthetically.  Uniform sampling stresses the memory system hardest (no
+cache reuse); Zipfian sampling models the popularity skew real recommender
+traffic exhibits and is what makes the CPU cache-hierarchy ablation
+interesting (hot rows become cacheable).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class UniformSampler:
+    """IID uniform indices over a table."""
+
+    rows: int
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.rows < 1:
+            raise ValueError("table must have at least one row")
+        self._rng = np.random.default_rng(self.seed)
+
+    def sample(self, shape) -> np.ndarray:
+        return self._rng.integers(0, self.rows, shape).astype(np.int32)
+
+
+@dataclass
+class ZipfianSampler:
+    """Zipf-distributed indices (rank-frequency skew, s = ``alpha``).
+
+    Uses the inverse-CDF method over a precomputed harmonic table so any
+    ``alpha > 0`` works (NumPy's built-in ``zipf`` needs alpha > 1).
+    """
+
+    rows: int
+    alpha: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.rows < 1:
+            raise ValueError("table must have at least one row")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self._rng = np.random.default_rng(self.seed)
+        weights = 1.0 / np.power(np.arange(1, self.rows + 1, dtype=np.float64), self.alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        # Random rank -> row permutation so "popular" rows are scattered
+        # through the physical table, as in production.
+        self._perm = np.random.default_rng(self.seed + 1).permutation(self.rows)
+
+    def sample(self, shape) -> np.ndarray:
+        u = self._rng.random(np.prod(shape, dtype=int))
+        ranks = np.searchsorted(self._cdf, u)
+        return self._perm[ranks].reshape(shape).astype(np.int32)
+
+
+def make_sampler(kind: str, rows: int, seed: int = 0, alpha: float = 0.9):
+    """Factory: ``uniform`` or ``zipfian``."""
+    if kind == "uniform":
+        return UniformSampler(rows, seed)
+    if kind == "zipfian":
+        return ZipfianSampler(rows, alpha, seed)
+    raise ValueError(f"unknown sampler kind {kind!r}")

@@ -1,0 +1,61 @@
+"""Inference-request generation for the recommender workloads."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.recsys import RecSysConfig
+from .distributions import make_sampler
+
+
+@dataclass
+class InferenceBatch:
+    """One batched inference request: per-table sparse indices + dense input."""
+
+    sparse: list[np.ndarray]
+    dense: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.dense.shape[0]
+
+    @property
+    def total_lookups(self) -> int:
+        return sum(int(np.prod(idx.shape)) for idx in self.sparse)
+
+
+class RequestGenerator:
+    """Generates inference batches for one workload configuration."""
+
+    def __init__(
+        self,
+        config: RecSysConfig,
+        distribution: str = "uniform",
+        seed: int = 0,
+        alpha: float = 0.9,
+    ):
+        self.config = config
+        self.samplers = [
+            make_sampler(distribution, config.rows_per_table, seed + i, alpha)
+            for i in range(config.num_tables)
+        ]
+        self._rng = np.random.default_rng(seed + 1000)
+
+    def batch(self, batch_size: int) -> InferenceBatch:
+        """Sample one batch of requests."""
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        fanin = self.config.pooling_fanin
+        sparse = []
+        for sampler in self.samplers:
+            shape = (batch_size, fanin) if fanin > 1 else (batch_size,)
+            sparse.append(sampler.sample(shape))
+        dense = self._rng.standard_normal(
+            (batch_size, self.config.dense_features)
+        ).astype(np.float32)
+        return InferenceBatch(sparse=sparse, dense=dense)
+
+    def batches(self, batch_size: int, count: int):
+        """Yield ``count`` successive batches."""
+        for _ in range(count):
+            yield self.batch(batch_size)

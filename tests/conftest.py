@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import TensorDimmRuntime, TensorNode
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_node():
+    """A 8-DIMM TensorNode with 1 MB per DIMM — fast functional testing."""
+    return TensorNode(num_dimms=8, capacity_words_per_dimm=1 << 14)
+
+
+@pytest.fixture
+def runtime(small_node):
+    """An analytic-timing runtime over the small node."""
+    return TensorDimmRuntime(small_node, timing_mode="analytic")
+
+
+@pytest.fixture
+def canonical_node():
+    """A 16-DIMM node: 1 KB (256-dim) embeddings give words_per_slice == 1,
+    the paper's canonical Fig. 7 configuration."""
+    return TensorNode(num_dimms=16, capacity_words_per_dimm=1 << 14)

@@ -1,0 +1,151 @@
+"""Tests for the TensorISA assembler/disassembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assembler import AssemblerError, assemble, disassemble, round_trip
+from repro.core.isa import Instruction, Opcode, ReduceOp, average, gather, reduce
+
+
+class TestAssemble:
+    def test_gather(self):
+        (instr,) = assemble("GATHER table=0x400 idx=16 out=0x800 count=64")
+        assert instr.opcode == Opcode.GATHER
+        assert instr.table_base == 0x400
+        assert instr.index_base == 16
+        assert instr.output_base == 0x800
+        assert instr.count == 64
+
+    def test_reduce_with_subop(self):
+        (instr,) = assemble("REDUCE.MUL in1=0 in2=64 out=128 count=8")
+        assert instr.subop == ReduceOp.MUL
+
+    def test_reduce_defaults_to_sum(self):
+        (instr,) = assemble("REDUCE in1=0 in2=64 out=128 count=8")
+        assert instr.subop == ReduceOp.SUM
+
+    def test_average(self):
+        (instr,) = assemble("AVERAGE in=0 group=25 out=256 count=16 wps=2")
+        assert instr.opcode == Opcode.AVERAGE
+        assert instr.average_num == 25
+        assert instr.words_per_slice == 2
+
+    def test_case_insensitive_mnemonic(self):
+        (instr,) = assemble("gather table=0 idx=0 out=0 count=1")
+        assert instr.opcode == Opcode.GATHER
+
+    def test_comments_and_blanks(self):
+        program = assemble(
+            """
+            # embedding layer
+            GATHER table=0 idx=0 out=64 count=4   # lookups
+
+            REDUCE in1=64 in2=128 out=192 count=4
+            """
+        )
+        assert len(program) == 2
+
+    def test_multi_line_program_order(self):
+        program = assemble(
+            "GATHER table=0 idx=0 out=64 count=4\n"
+            "AVERAGE in=64 group=2 out=128 count=2"
+        )
+        assert [i.opcode for i in program] == [Opcode.GATHER, Opcode.AVERAGE]
+
+
+class TestAssembleErrors:
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("SCATTER a=1", "unknown opcode"),
+            ("GATHER table=0 idx=0 out=0", "missing field"),
+            ("GATHER table=0 idx=0 out=0 count=1 bogus=2", "unknown field"),
+            ("GATHER table=0 idx=0 out=0 count=zz", "bad integer"),
+            ("GATHER table=0 table=1 idx=0 out=0 count=1", "duplicate"),
+            ("GATHER.MUL table=0 idx=0 out=0 count=1", "no sub-op"),
+            ("REDUCE.XOR in1=0 in2=0 out=0 count=1", "unknown reduce op"),
+            ("GATHER table=0 idx=0 out=0 count=-1", "count"),
+            ("GATHER table 0", "expected key=value"),
+        ],
+    )
+    def test_errors(self, source, fragment):
+        with pytest.raises(AssemblerError) as exc:
+            assemble(source)
+        assert fragment.lower() in str(exc.value).lower()
+
+    def test_error_reports_line_number(self):
+        source = "GATHER table=0 idx=0 out=0 count=1\nBOGUS x=1"
+        with pytest.raises(AssemblerError) as exc:
+            assemble(source)
+        assert exc.value.line_number == 2
+
+
+class TestDisassemble:
+    def test_gather_text(self):
+        text = disassemble([gather(0x400, 0x10, 0x800, 64, 2)])
+        assert text == "GATHER table=0x400 idx=0x10 out=0x800 count=64 wps=2"
+
+    def test_reduce_sum_has_no_suffix(self):
+        text = disassemble([reduce(0, 64, 128, 8)])
+        assert text.startswith("REDUCE ")
+
+    def test_reduce_subop_suffix(self):
+        text = disassemble([reduce(0, 64, 128, 8, ReduceOp.MAX)])
+        assert text.startswith("REDUCE.MAX ")
+
+    def test_average_text(self):
+        text = disassemble([average(0, 25, 0x100, 16)])
+        assert "group=25" in text
+        assert "wps" not in text  # default elided
+
+
+class TestRoundTrip:
+    def test_canonical_fixed_point(self):
+        source = (
+            "GATHER table=0x400 idx=0x10 out=0x800 count=64\n"
+            "REDUCE.MUL in1=0x800 in2=0xc00 out=0x800 count=128\n"
+            "AVERAGE in=0x800 group=25 out=0x1000 count=64 wps=2"
+        )
+        once = round_trip(source)
+        assert round_trip(once) == once
+
+    @given(
+        opcode=st.sampled_from(list(Opcode)),
+        subop=st.sampled_from(list(ReduceOp)),
+        a=st.integers(0, (1 << 40) - 1),
+        b=st.integers(0, (1 << 40) - 1),
+        c=st.integers(0, (1 << 40) - 1),
+        count=st.integers(0, (1 << 32) - 1),
+        wps=st.integers(1, 100),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_disassemble_assemble_identity(self, opcode, subop, a, b, c, count, wps):
+        if opcode == Opcode.AVERAGE:
+            b = max(1, b % 1000)  # group size must be sensible
+        if opcode == Opcode.UPDATE and subop not in (ReduceOp.SUM, ReduceOp.SUB):
+            subop = ReduceOp.SUM
+        instr = Instruction(
+            opcode=opcode,
+            subop=subop if opcode in (Opcode.REDUCE, Opcode.UPDATE) else ReduceOp.SUM,
+            input_base=a,
+            aux=b,
+            output_base=c,
+            count=count,
+            words_per_slice=wps,
+        )
+        (back,) = assemble(disassemble([instr]))
+        if opcode == Opcode.REDUCE:
+            # wps is not part of REDUCE's assembly syntax (it is unused).
+            assert (back.input_base, back.aux, back.output_base) == (a, b, c)
+            assert back.count == count
+            assert back.subop == instr.subop
+        else:
+            assert back == instr
+
+    def test_update_round_trip(self):
+        from repro.core.isa import update
+
+        instr = update(0x100, 0x20, 0x0, 32, 2, ReduceOp.SUB)
+        (back,) = assemble(disassemble([instr]))
+        assert back == instr

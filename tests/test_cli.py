@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure 14" in out
+        assert "table 3" in out
+
+
+class TestEvaluate:
+    def test_evaluate_workload(self, capsys):
+        assert main(["evaluate", "YouTube", "--batch", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "TDIMM" in out
+        assert "batch 32" in out
+
+    def test_evaluate_with_scale(self, capsys):
+        assert main(["evaluate", "Fox", "--scale", "4"]) == 0
+        assert "embedding dim 2048" in capsys.readouterr().out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["evaluate", "Netflix"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_figure_14(self, capsys):
+        assert main(["figure", "14"]) == 0
+        assert "normalised to GPU-only" in capsys.readouterr().out
+
+    def test_figure_3(self, capsys):
+        assert main(["figure", "3"]) == 0
+        assert "model size" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_table_3(self, capsys):
+        assert main(["table", "3"]) == 0
+        assert "FPU" in capsys.readouterr().out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "7"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestAblations:
+    def test_ablations_run(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "address mapping" in out
+        assert "queue sizing" in out

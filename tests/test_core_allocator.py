@@ -1,0 +1,124 @@
+"""Tests for the TensorNode pool allocator."""
+
+import pytest
+
+from repro.core.allocator import NodeAllocator, OutOfNodeMemory
+
+
+def make(node_dim=8, words_per_dimm=64):
+    return NodeAllocator(node_dim, words_per_dimm)
+
+
+class TestInterleaved:
+    def test_first_allocation_at_zero(self):
+        alloc = make().alloc_words("a", 16)
+        assert alloc.base_word == 0
+
+    def test_bases_aligned_to_node_dim(self):
+        allocator = make(node_dim=8)
+        a = allocator.alloc_words("a", 9)  # rounds to 2 local words
+        b = allocator.alloc_words("b", 5)
+        assert a.base_word % 8 == 0
+        assert b.base_word % 8 == 0
+
+    def test_allocations_do_not_overlap(self):
+        allocator = make(node_dim=4)
+        a = allocator.alloc_words("a", 10)
+        b = allocator.alloc_words("b", 10)
+        a_end = a.base_word + a.node_words
+        assert b.base_word >= a_end
+
+    def test_rounds_to_whole_local_words(self):
+        allocator = make(node_dim=8)
+        a = allocator.alloc_words("a", 1)
+        assert a.node_words == 8
+
+    def test_duplicate_name_rejected(self):
+        allocator = make()
+        allocator.alloc_words("a", 8)
+        with pytest.raises(ValueError):
+            allocator.alloc_words("a", 8)
+
+    def test_exhaustion(self):
+        allocator = make(node_dim=2, words_per_dimm=4)
+        allocator.alloc_words("a", 8)  # fills the pool
+        with pytest.raises(OutOfNodeMemory):
+            allocator.alloc_words("b", 1)
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(ValueError):
+            make().alloc_words("a", 0)
+
+    def test_alloc_tensor_layout(self):
+        allocator = make(node_dim=8, words_per_dimm=128)
+        layout = allocator.alloc_tensor("t", rows=4, embedding_dim=256)
+        assert layout.node_dim == 8
+        assert layout.rows == 4
+        assert layout.base_word % 8 == 0
+
+    def test_alloc_tensor_consumes_space(self):
+        allocator = make(node_dim=8, words_per_dimm=128)
+        before = allocator.free_local_words
+        layout = allocator.alloc_tensor("t", rows=4, embedding_dim=256)
+        assert allocator.free_local_words == before - layout.words_per_dimm
+
+
+class TestReplicated:
+    def test_grows_down_from_top(self):
+        allocator = make(node_dim=4, words_per_dimm=64)
+        a = allocator.alloc_replicated("idx", 4)
+        assert a.base_word == 60
+        assert a.replicated
+
+    def test_separate_regions_do_not_collide(self):
+        allocator = make(node_dim=4, words_per_dimm=64)
+        allocator.alloc_words("t", 4 * 60)
+        with pytest.raises(OutOfNodeMemory):
+            allocator.alloc_replicated("idx", 5)
+        allocator.alloc_replicated("idx", 4)  # exactly fits
+
+    def test_exhaustion(self):
+        allocator = make(node_dim=2, words_per_dimm=8)
+        with pytest.raises(OutOfNodeMemory):
+            allocator.alloc_replicated("idx", 9)
+
+
+class TestFree:
+    def test_free_unknown(self):
+        with pytest.raises(KeyError):
+            make().free("ghost")
+
+    def test_stack_free_reclaims(self):
+        allocator = make(node_dim=4, words_per_dimm=16)
+        allocator.alloc_words("a", 16)
+        b = allocator.alloc_words("b", 16)
+        allocator.free("b")
+        c = allocator.alloc_words("c", 16)
+        assert c.base_word == b.base_word
+
+    def test_non_stack_free_leaks_but_unregisters(self):
+        allocator = make(node_dim=4, words_per_dimm=16)
+        a = allocator.alloc_words("a", 16)
+        allocator.alloc_words("b", 16)
+        allocator.free("a")  # not the top: space not reclaimed
+        assert "a" not in allocator.allocations
+        c = allocator.alloc_words("c", 8)
+        assert c.base_word > a.base_word
+
+    def test_replicated_stack_free(self):
+        allocator = make(node_dim=4, words_per_dimm=32)
+        allocator.alloc_replicated("x", 4)
+        free_before = allocator.free_local_words
+        allocator.free("x")
+        assert allocator.free_local_words == free_before + 4
+
+    def test_reset(self):
+        allocator = make()
+        allocator.alloc_words("a", 8)
+        allocator.alloc_replicated("b", 2)
+        allocator.reset()
+        assert not allocator.allocations
+        assert allocator.free_local_words == allocator.words_per_dimm
+
+    def test_total_node_words(self):
+        assert make(node_dim=8, words_per_dimm=64).total_node_words == 512

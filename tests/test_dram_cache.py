@@ -1,0 +1,97 @@
+"""Tests for the CPU cache model used by the gather ablation."""
+
+import numpy as np
+import pytest
+
+from repro.config import CPU_PEAK_BANDWIDTH
+from repro.dram.cache import Cache, CacheHierarchy
+
+
+class TestCache:
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(capacity_bytes=1000, ways=8)
+
+    def test_first_access_misses(self):
+        cache = Cache(8192, ways=2)
+        assert cache.access(0) is False
+
+    def test_second_access_hits(self):
+        cache = Cache(8192, ways=2)
+        cache.access(0)
+        assert cache.access(0) is True
+
+    def test_different_lines_in_same_set_coexist(self):
+        cache = Cache(8192, ways=2)  # 64 sets
+        cache.access(0)
+        cache.access(64 * 64)  # same set, different tag
+        assert cache.access(0) is True
+        assert cache.access(64 * 64) is True
+
+    def test_lru_eviction(self):
+        cache = Cache(8192, ways=2)
+        set_stride = 64 * cache.num_sets
+        cache.access(0)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)  # evicts line 0 (LRU)
+        assert cache.access(0) is False
+
+    def test_lru_order_updated_on_hit(self):
+        cache = Cache(8192, ways=2)
+        set_stride = 64 * cache.num_sets
+        cache.access(0)
+        cache.access(set_stride)
+        cache.access(0)  # 0 becomes MRU
+        cache.access(2 * set_stride)  # evicts set_stride
+        assert cache.access(0) is True
+        assert cache.access(set_stride) is False
+
+    def test_access_many_counts_hits(self):
+        cache = Cache(8192, ways=2)
+        assert cache.access_many([0, 0, 0]) == 2
+
+    def test_hit_rate_stat(self):
+        cache = Cache(8192, ways=2)
+        cache.access_many([0, 0, 64, 64])
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_sequential_within_capacity_all_hit_second_pass(self):
+        cache = Cache(64 * 1024, ways=8)
+        addrs = [i * 64 for i in range(512)]
+        cache.access_many(addrs)
+        assert cache.access_many(addrs) == 512
+
+
+class TestHierarchy:
+    def test_l2_hit_is_fast(self):
+        h = CacheHierarchy.xeon_like()
+        h.access(0)
+        assert h.access(0) == h.l2_latency_ns
+
+    def test_cold_access_pays_dram(self):
+        h = CacheHierarchy.xeon_like()
+        assert h.access(1 << 33 & ~63) == h.dram_latency_ns
+
+    def test_uniform_gather_efficiency_below_5_percent(self):
+        # The Gupta et al. observation the paper cites (Section 7).
+        h = CacheHierarchy.xeon_like()
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 2_000_000, 5000) * 2048).tolist()
+        assert h.gather_efficiency(addrs, CPU_PEAK_BANDWIDTH) < 0.05
+
+    def test_hot_working_set_recovers_bandwidth(self):
+        h = CacheHierarchy.xeon_like()
+        addrs = [(i % 64) * 64 for i in range(5000)]
+        hot = h.gather_efficiency(addrs, CPU_PEAK_BANDWIDTH)
+        h2 = CacheHierarchy.xeon_like()
+        rng = np.random.default_rng(0)
+        cold_addrs = (rng.integers(0, 2_000_000, 5000) * 2048).tolist()
+        cold = h2.gather_efficiency(cold_addrs, CPU_PEAK_BANDWIDTH)
+        assert hot > 5 * cold
+
+    def test_gather_throughput_empty(self):
+        assert CacheHierarchy.xeon_like().gather_throughput([]) == 0.0
+
+    def test_invalid_peak(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy.xeon_like().gather_efficiency([0], 0.0)

@@ -1,0 +1,126 @@
+"""Tests for the functional word storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dram.storage import WordStorage
+
+
+class TestBasics:
+    def test_capacity_bytes(self):
+        assert WordStorage(100).capacity_bytes == 6400
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WordStorage(0)
+
+    def test_initially_zero(self):
+        storage = WordStorage(4)
+        assert not storage.read_word(0).any()
+
+    def test_write_read_round_trip(self):
+        storage = WordStorage(4)
+        values = np.arange(16, dtype=np.float32)
+        storage.write_word(2, values)
+        np.testing.assert_array_equal(storage.read_word(2), values)
+
+    def test_read_returns_copy(self):
+        storage = WordStorage(4)
+        word = storage.read_word(0)
+        word[:] = 99.0
+        assert not storage.read_word(0).any()
+
+    def test_out_of_range_read(self):
+        with pytest.raises(IndexError):
+            WordStorage(4).read_word(4)
+
+    def test_negative_index(self):
+        with pytest.raises(IndexError):
+            WordStorage(4).read_word(-1)
+
+    def test_wrong_shape_write(self):
+        with pytest.raises(ValueError):
+            WordStorage(4).write_word(0, np.zeros(8, dtype=np.float32))
+
+
+class TestBulk:
+    def test_read_words_gather(self):
+        storage = WordStorage(8)
+        for i in range(8):
+            storage.write_word(i, np.full(16, float(i), dtype=np.float32))
+        got = storage.read_words(np.array([3, 1, 7]))
+        assert got[:, 0].tolist() == [3.0, 1.0, 7.0]
+
+    def test_read_words_out_of_range(self):
+        with pytest.raises(IndexError):
+            WordStorage(4).read_words(np.array([0, 5]))
+
+    def test_write_words_contiguous(self):
+        storage = WordStorage(8)
+        payload = np.arange(32, dtype=np.float32).reshape(2, 16)
+        storage.write_words(3, payload)
+        np.testing.assert_array_equal(storage.read_word(3), payload[0])
+        np.testing.assert_array_equal(storage.read_word(4), payload[1])
+
+    def test_write_words_overflow(self):
+        with pytest.raises(IndexError):
+            WordStorage(4).write_words(3, np.zeros((2, 16), dtype=np.float32))
+
+    def test_write_scattered(self):
+        storage = WordStorage(8)
+        storage.write_scattered(
+            np.array([6, 1]), np.stack([np.full(16, 6.0), np.full(16, 1.0)])
+        )
+        assert storage.read_word(6)[0] == 6.0
+        assert storage.read_word(1)[0] == 1.0
+
+    @given(
+        data=arrays(np.float32, (5, 16), elements=st.floats(-1e6, 1e6, width=32)),
+        start=st.integers(0, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bulk_round_trip(self, data, start):
+        storage = WordStorage(8)
+        storage.write_words(start, data)
+        got = storage.read_words(start + np.arange(5))
+        np.testing.assert_array_equal(got, data)
+
+
+class TestIndexViews:
+    def test_indices_round_trip(self):
+        storage = WordStorage(4)
+        idx = np.array([1, 5, 9, 100000, 0], dtype=np.int32)
+        storage.write_indices(0, idx)
+        got = storage.read_indices(0, 1)
+        np.testing.assert_array_equal(got[:5], idx)
+
+    def test_index_tail_padded_with_zeros(self):
+        storage = WordStorage(4)
+        storage.write_indices(0, np.array([7], dtype=np.int32))
+        got = storage.read_indices(0, 1)
+        assert got[0] == 7
+        assert not got[1:].any()
+
+    def test_indices_span_multiple_words(self):
+        storage = WordStorage(4)
+        idx = np.arange(40, dtype=np.int32)
+        storage.write_indices(1, idx)
+        got = storage.read_indices(1, 3)
+        np.testing.assert_array_equal(got[:40], idx)
+
+    def test_indices_overflow(self):
+        with pytest.raises(IndexError):
+            WordStorage(2).write_indices(1, np.arange(32, dtype=np.int32))
+
+    @given(st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_index_values_round_trip(self, values):
+        storage = WordStorage(8)
+        idx = np.array(values, dtype=np.int32)
+        storage.write_indices(0, idx)
+        words = -(-len(values) // 16)
+        got = storage.read_indices(0, words)
+        np.testing.assert_array_equal(got[: len(values)], idx)

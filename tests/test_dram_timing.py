@@ -1,0 +1,103 @@
+"""Tests for DDR4 timing parameters and speed grades."""
+
+import pytest
+
+from repro.dram.timing import (
+    DDR4_2400,
+    DDR4_2666,
+    DDR4_3200,
+    SPEED_GRADES,
+    DramTiming,
+    ns_to_cycles,
+)
+
+
+class TestNsToCycles:
+    def test_exact_multiple(self):
+        assert ns_to_cycles(10.0, 0.625) == 16
+
+    def test_rounds_up(self):
+        assert ns_to_cycles(10.1, 0.625) == 17
+
+    def test_minimum_one_cycle(self):
+        assert ns_to_cycles(0.1, 0.625) == 1
+
+    def test_zero_is_one_cycle(self):
+        assert ns_to_cycles(0.0, 0.625) == 1
+
+
+class TestSpeedGrades:
+    def test_ddr4_3200_clock(self):
+        assert DDR4_3200.clock_hz == pytest.approx(1.6e9)
+
+    def test_ddr4_3200_tck(self):
+        assert DDR4_3200.tck_ns == pytest.approx(0.625)
+
+    def test_pc4_25600_peak_bandwidth(self):
+        # Table 1: PC4-25600 gives 25.6 GB/s per DIMM.
+        assert DDR4_3200.peak_bandwidth == pytest.approx(25.6e9)
+
+    def test_ddr4_2400_peak_bandwidth(self):
+        assert DDR4_2400.peak_bandwidth == pytest.approx(19.2e9)
+
+    def test_burst_occupies_four_clocks(self):
+        # BL8 at double data rate = 4 controller clocks.
+        assert DDR4_3200.burst_cycles == 4
+
+    def test_burst_moves_64_bytes(self):
+        assert DDR4_3200.bytes_per_cycle * DDR4_3200.burst_cycles == 64
+
+    def test_grades_registry(self):
+        assert set(SPEED_GRADES) == {"DDR4-2400", "DDR4-2666", "DDR4-3200"}
+
+    def test_faster_grade_has_more_cycles_for_same_ns(self):
+        # tRFC is a fixed ns constraint, so faster clocks need more cycles.
+        assert DDR4_3200.rfc > DDR4_2400.rfc
+
+    def test_cas_latencies_scale_with_grade(self):
+        assert DDR4_3200.cl > DDR4_2400.cl
+
+    def test_ras_at_least_rcd(self):
+        for grade in SPEED_GRADES.values():
+            assert grade.ras >= grade.rcd
+
+    def test_rc_covers_ras_plus_rp(self):
+        for grade in SPEED_GRADES.values():
+            assert grade.rc >= grade.ras
+
+    def test_ccd_l_at_least_ccd_s(self):
+        for grade in SPEED_GRADES.values():
+            assert grade.ccd_l >= grade.ccd_s
+
+    def test_wtr_l_at_least_wtr_s(self):
+        for grade in SPEED_GRADES.values():
+            assert grade.wtr_l >= grade.wtr_s
+
+
+class TestDerivedConstraints:
+    def test_read_to_write_positive(self):
+        assert DDR4_3200.read_to_write > 0
+
+    def test_write_to_read_same_group_longer(self):
+        assert DDR4_3200.write_to_read(True) > DDR4_3200.write_to_read(False)
+
+    def test_write_to_precharge_includes_recovery(self):
+        t = DDR4_3200
+        assert t.write_to_precharge == t.cwl + t.burst_cycles + t.wr
+
+    def test_cycles_to_seconds(self):
+        assert DDR4_3200.cycles_to_seconds(1_600_000_000) == pytest.approx(1.0)
+
+    def test_cycles_to_seconds_zero(self):
+        assert DDR4_3200.cycles_to_seconds(0) == 0.0
+
+    def test_refresh_disable(self):
+        quiet = DDR4_3200.scaled_refresh(False)
+        assert quiet.refi > 1 << 60
+        assert DDR4_3200.refi < 1 << 20  # original untouched
+
+    def test_refresh_enable_is_identity(self):
+        assert DDR4_3200.scaled_refresh(True) is DDR4_3200
+
+    def test_refresh_interval_is_7_8_us(self):
+        assert DDR4_3200.refi * DDR4_3200.tck_ns == pytest.approx(7800.0, rel=0.01)

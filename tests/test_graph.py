@@ -1,0 +1,189 @@
+"""Tests for the model-DAG layer (graph construction, scheduling, execution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import TensorDimmRuntime
+from repro.core.tensornode import TensorNode
+from repro.graph import (
+    DenseInput,
+    EmbeddingLookup,
+    GraphError,
+    GraphExecutor,
+    Interaction,
+    MlpStack,
+    ModelGraph,
+    SparseInput,
+)
+from repro.models.model_zoo import FACEBOOK, NCF, YOUTUBE, small_scale
+from repro.models.recsys import RecommenderModel
+
+
+class TestGraphConstruction:
+    def test_duplicate_node_rejected(self):
+        graph = ModelGraph()
+        graph.add(SparseInput("a"))
+        with pytest.raises(GraphError):
+            graph.add(SparseInput("a"))
+
+    def test_unknown_input_rejected(self):
+        graph = ModelGraph()
+        with pytest.raises(GraphError):
+            graph.add(EmbeddingLookup("e", inputs=("ghost",)))
+
+    def test_from_config_node_count(self):
+        graph = ModelGraph.from_config(YOUTUBE)
+        # 2 sparse + 2 embed + interact + dense + mlp_input + mlp
+        assert len(graph) == 8
+
+    def test_from_config_output_is_mlp(self):
+        graph = ModelGraph.from_config(NCF)
+        assert graph.output == "mlp"
+
+    def test_consumers(self):
+        graph = ModelGraph.from_config(YOUTUBE)
+        assert graph.consumers("embed0") == ["interact"]
+
+    def test_node_lookup(self):
+        graph = ModelGraph.from_config(YOUTUBE)
+        assert isinstance(graph.node("embed1"), EmbeddingLookup)
+        with pytest.raises(GraphError):
+            graph.node("nope")
+
+
+class TestValidation:
+    def test_empty_graph(self):
+        with pytest.raises(GraphError):
+            ModelGraph().validate()
+
+    def test_multiple_outputs_rejected(self):
+        graph = ModelGraph()
+        graph.add(SparseInput("a"))
+        graph.add(SparseInput("b"))
+        with pytest.raises(GraphError):
+            graph.validate()
+
+    def test_disconnected_rejected(self):
+        graph = ModelGraph()
+        graph.add(SparseInput("a"))
+        graph.add(EmbeddingLookup("e", inputs=("a",)))
+        graph.add(SparseInput("orphan"))
+        graph.add(Interaction("i", inputs=("e", "orphan")))
+        graph.validate()  # connected through the interaction: fine
+        graph2 = ModelGraph()
+        graph2.add(SparseInput("a"))
+        graph2.add(DenseInput("d"))
+        graph2.add(EmbeddingLookup("e", inputs=("a",)))
+        with pytest.raises(GraphError):
+            graph2.validate()
+
+    def test_table2_graphs_valid(self):
+        for config in (NCF, YOUTUBE, FACEBOOK):
+            ModelGraph.from_config(config).validate()
+
+
+class TestScheduling:
+    def test_schedule_respects_dependencies(self):
+        graph = ModelGraph.from_config(FACEBOOK)
+        order = [n.name for n in graph.schedule()]
+        for node in graph.nodes():
+            for dep in node.inputs:
+                assert order.index(dep) < order.index(node.name)
+
+    def test_schedule_deterministic(self):
+        a = [n.name for n in ModelGraph.from_config(FACEBOOK).schedule()]
+        b = [n.name for n in ModelGraph.from_config(FACEBOOK).schedule()]
+        assert a == b
+
+
+class TestShapeInference:
+    def test_youtube_shapes(self):
+        shapes = ModelGraph.from_config(YOUTUBE).infer_shapes(batch=16)
+        assert shapes["sparse0"] == (16, 50)
+        assert shapes["embed0"] == (16, 512)
+        assert shapes["interact"] == (16, 1024)
+        assert shapes["mlp_input"] == (16, 1024 + 13)
+        assert shapes["mlp"] == (16, 1)
+
+    def test_ncf_elementwise_width(self):
+        shapes = ModelGraph.from_config(NCF).infer_shapes(batch=4)
+        assert shapes["interact"] == (4, 512)
+
+    def test_mismatched_mlp_width_caught(self):
+        graph = ModelGraph()
+        graph.add(DenseInput("d", features=10))
+        graph.add(MlpStack("m", inputs=("d",), dims=(99, 1)))
+        with pytest.raises(ValueError):
+            graph.infer_shapes(batch=2)
+
+
+class TestGraphExecutor:
+    @pytest.fixture
+    def setup(self, rng):
+        config = small_scale(YOUTUBE, rows=300)
+        model = RecommenderModel(config, rng)
+        sparse, dense = model.sample_inputs(8, rng)
+        return config, model, sparse, dense
+
+    def test_cpu_only_matches_reference(self, setup):
+        config, model, sparse, dense = setup
+        executor = GraphExecutor(config, model, design="CPU-only")
+        out, trace = executor.run(sparse, dense)
+        np.testing.assert_allclose(out, model.forward(sparse, dense), rtol=1e-5)
+        assert trace.total_seconds > 0
+
+    def test_tdimm_matches_reference(self, setup):
+        config, model, sparse, dense = setup
+        runtime = TensorDimmRuntime(
+            TensorNode(num_dimms=8, capacity_words_per_dimm=1 << 16)
+        )
+        executor = GraphExecutor(config, model, design="TDIMM", runtime=runtime)
+        out, trace = executor.run(sparse, dense)
+        np.testing.assert_allclose(
+            out, model.forward(sparse, dense), rtol=1e-4, atol=1e-6
+        )
+
+    def test_tdimm_requires_runtime(self, setup):
+        config, model, _, _ = setup
+        with pytest.raises(ValueError):
+            GraphExecutor(config, model, design="TDIMM")
+
+    def test_unknown_design(self, setup):
+        config, model, _, _ = setup
+        with pytest.raises(ValueError):
+            GraphExecutor(config, model, design="PMEM")
+
+    def test_cpu_gpu_records_memcpy(self, setup):
+        config, model, sparse, dense = setup
+        executor = GraphExecutor(config, model, design="CPU-GPU")
+        _, trace = executor.run(sparse, dense)
+        assert trace.stage_seconds("transfer") > 0
+        assert any(r.op == "memcpy" for r in trace.records)
+
+    def test_gpu_only_has_no_transfer(self, setup):
+        config, model, sparse, dense = setup
+        executor = GraphExecutor(config, model, design="GPU-only")
+        _, trace = executor.run(sparse, dense)
+        assert trace.stage_seconds("transfer") == 0.0
+
+    def test_timeline_is_contiguous(self, setup):
+        config, model, sparse, dense = setup
+        executor = GraphExecutor(config, model, design="CPU-only")
+        _, trace = executor.run(sparse, dense)
+        clock = 0.0
+        for record in trace.records:
+            assert record.start == pytest.approx(clock)
+            clock = record.end
+
+    def test_stage_totals_partition_timeline(self, setup):
+        config, model, sparse, dense = setup
+        executor = GraphExecutor(config, model, design="CPU-GPU")
+        _, trace = executor.run(sparse, dense)
+        assert sum(trace.by_stage().values()) == pytest.approx(trace.total_seconds)
+
+    def test_lookup_stage_dominated_by_embeddings(self, setup):
+        config, model, sparse, dense = setup
+        executor = GraphExecutor(config, model, design="CPU-only")
+        _, trace = executor.run(sparse, dense)
+        stages = trace.by_stage()
+        assert stages["lookup"] > stages["interaction"]

@@ -1,0 +1,122 @@
+"""Tests for links, the NVSwitch crossbar, and system topologies."""
+
+import pytest
+
+from repro.interconnect.link import NVLINK2_GPU, NVLINK2_LINK, PCIE3_X16, Link
+from repro.interconnect.switch import Crossbar, Transfer
+from repro.interconnect.topology import dgx_with_tensornode
+
+
+class TestLink:
+    def test_transfer_time_formula(self):
+        link = Link("test", 10e9, 1e-6)
+        assert link.transfer_time(10_000_000) == pytest.approx(1e-6 + 1e-3)
+
+    def test_zero_bytes_is_free(self):
+        assert PCIE3_X16.transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE3_X16.transfer_time(-1)
+
+    def test_invalid_link(self):
+        with pytest.raises(ValueError):
+            Link("bad", 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Link("bad", 1e9, -1.0)
+
+    def test_nvlink_vs_pcie_ratio(self):
+        # Section 2.2: NVLink-attached GPUs move data ~9x faster than PCIe.
+        ratio = NVLINK2_GPU.bandwidth / PCIE3_X16.bandwidth
+        assert ratio == pytest.approx(9.375)
+
+    def test_single_nvlink_is_25gbps(self):
+        assert NVLINK2_LINK.bandwidth == pytest.approx(25e9)
+
+    def test_effective_bandwidth_approaches_peak(self):
+        eff = NVLINK2_GPU.effective_bandwidth(1 << 30)
+        assert eff > 0.99 * NVLINK2_GPU.bandwidth
+
+    def test_effective_bandwidth_small_transfer_penalised(self):
+        eff = NVLINK2_GPU.effective_bandwidth(4096)
+        assert eff < 0.02 * NVLINK2_GPU.bandwidth
+
+    def test_scaled(self):
+        slow = NVLINK2_GPU.scaled(25e9)
+        assert slow.bandwidth == 25e9
+        assert slow.latency == NVLINK2_GPU.latency
+
+
+class TestCrossbar:
+    def make(self):
+        xbar = Crossbar(NVLINK2_GPU)
+        for name in ("gpu0", "gpu1", "gpu2", "node"):
+            xbar.attach(name)
+        return xbar
+
+    def test_single_transfer_full_bandwidth(self):
+        xbar = self.make()
+        t = xbar.transfer_time("gpu0", "node", 150_000_000)
+        assert t == pytest.approx(NVLINK2_GPU.latency + 0.001)
+
+    def test_unknown_port(self):
+        with pytest.raises(KeyError):
+            self.make().transfer_time("gpu0", "ghost", 1)
+
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().transfer_time("gpu0", "gpu0", 1)
+
+    def test_disjoint_transfers_dont_contend(self):
+        xbar = self.make()
+        transfers = [
+            Transfer("gpu0", "gpu1", 150_000_000),
+            Transfer("gpu2", "node", 150_000_000),
+        ]
+        xbar.concurrent_transfer_times(transfers)
+        solo = xbar.transfer_time("gpu0", "gpu1", 150_000_000)
+        for t in transfers:
+            assert t.finish_time == pytest.approx(solo)
+
+    def test_shared_port_halves_bandwidth(self):
+        xbar = self.make()
+        transfers = [
+            Transfer("gpu0", "node", 150_000_000),
+            Transfer("gpu1", "node", 150_000_000),
+        ]
+        xbar.concurrent_transfer_times(transfers)
+        solo = xbar.transfer_time("gpu0", "node", 150_000_000)
+        for t in transfers:
+            assert t.finish_time > 1.9 * (solo - NVLINK2_GPU.latency)
+
+
+class TestTopology:
+    def test_every_gpu_reaches_the_node_at_nvlink_speed(self):
+        topo = dgx_with_tensornode(num_gpus=8)
+        for i in range(8):
+            assert topo.link(f"gpu{i}", "tensornode").bandwidth == NVLINK2_GPU.bandwidth
+
+    def test_cpu_reaches_gpus_over_pcie(self):
+        topo = dgx_with_tensornode(num_gpus=4)
+        assert topo.link("cpu", "gpu2").bandwidth == PCIE3_X16.bandwidth
+
+    def test_gpu_peer_links(self):
+        topo = dgx_with_tensornode(num_gpus=4)
+        assert topo.link("gpu0", "gpu3").bandwidth == NVLINK2_GPU.bandwidth
+
+    def test_node_link_override(self):
+        slow = NVLINK2_GPU.scaled(25e9)
+        topo = dgx_with_tensornode(num_gpus=2, node_link=slow)
+        assert topo.link("gpu0", "tensornode").bandwidth == 25e9
+        assert topo.link("gpu0", "gpu1").bandwidth == NVLINK2_GPU.bandwidth
+
+    def test_transfer_time_through_topology(self):
+        topo = dgx_with_tensornode()
+        nv = topo.transfer_time("gpu0", "tensornode", 1 << 20)
+        pcie = topo.transfer_time("cpu", "gpu0", 1 << 20)
+        assert pcie > 5 * nv
+
+    def test_missing_link(self):
+        topo = dgx_with_tensornode(num_gpus=2)
+        with pytest.raises(KeyError):
+            topo.link("gpu0", "mars")

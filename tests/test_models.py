@@ -1,0 +1,254 @@
+"""Tests for embedding tables, layers, and the recommender models."""
+
+import numpy as np
+import pytest
+
+from repro.config import BYTES_PER_ELEMENT
+from repro.models.embedding import EmbeddingTable
+from repro.models.layers import Dense, Mlp, interact
+from repro.models.model_zoo import (
+    ALL_WORKLOADS,
+    FACEBOOK,
+    FOX,
+    NCF,
+    YOUTUBE,
+    ncf_model_bytes,
+    small_scale,
+    workload,
+)
+from repro.models.recsys import RecommenderModel, RecSysConfig
+
+
+class TestEmbeddingTable:
+    def test_random_shape(self):
+        table = EmbeddingTable.random("t", 100, 64)
+        assert table.rows == 100
+        assert table.dim == 64
+
+    def test_bytes(self):
+        assert EmbeddingTable.random("t", 10, 16).bytes == 640
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            EmbeddingTable("t", np.zeros(8, dtype=np.float32))
+
+    def test_lookup(self, rng):
+        table = EmbeddingTable.random("t", 50, 8, rng)
+        idx = np.array([3, 49, 0])
+        np.testing.assert_array_equal(table.lookup(idx), table.weights[idx])
+
+    def test_lookup_bounds(self):
+        table = EmbeddingTable.random("t", 10, 8)
+        with pytest.raises(IndexError):
+            table.lookup(np.array([10]))
+
+    def test_lookup_wrong_ndim(self):
+        table = EmbeddingTable.random("t", 10, 8)
+        with pytest.raises(ValueError):
+            table.lookup(np.zeros((2, 2), dtype=np.int32))
+
+    @pytest.mark.parametrize("combiner,fn", [
+        ("mean", lambda g: g.mean(axis=1, dtype=np.float32)),
+        ("sum", lambda g: g.sum(axis=1, dtype=np.float32)),
+        ("max", lambda g: g.max(axis=1)),
+    ])
+    def test_pooled_lookup(self, combiner, fn, rng):
+        table = EmbeddingTable.random("t", 50, 8, rng)
+        idx = rng.integers(0, 50, (4, 7))
+        got = table.lookup_pooled(idx, combiner)
+        np.testing.assert_allclose(got, fn(table.weights[idx]), rtol=1e-5)
+
+    def test_pooled_unknown_combiner(self):
+        table = EmbeddingTable.random("t", 10, 8)
+        with pytest.raises(ValueError):
+            table.lookup_pooled(np.zeros((2, 2), dtype=np.int32), "median")
+
+
+class TestLayers:
+    def test_dense_shapes(self, rng):
+        layer = Dense.random(16, 4, rng=rng)
+        out = layer.forward(rng.standard_normal((5, 16)).astype(np.float32))
+        assert out.shape == (5, 4)
+
+    def test_relu_activation_clamps(self, rng):
+        layer = Dense.random(16, 4, rng=rng)
+        out = layer.forward(rng.standard_normal((50, 16)).astype(np.float32))
+        assert (out >= 0).all()
+
+    def test_sigmoid_activation_bounds(self, rng):
+        layer = Dense.random(16, 4, activation="sigmoid", rng=rng)
+        out = layer.forward(rng.standard_normal((50, 16)).astype(np.float32))
+        assert ((out > 0) & (out < 1)).all()
+
+    def test_unknown_activation(self, rng):
+        layer = Dense.random(4, 4, activation="tanh", rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 4), dtype=np.float32))
+
+    def test_mlp_dims(self, rng):
+        mlp = Mlp.random([16, 8, 4, 1], rng=rng)
+        assert mlp.dims == [16, 8, 4, 1]
+
+    def test_mlp_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            Mlp.random([16])
+
+    def test_mlp_forward_shape(self, rng):
+        mlp = Mlp.random([16, 8, 1], rng=rng)
+        assert mlp.forward(np.zeros((3, 16), dtype=np.float32)).shape == (3, 1)
+
+    def test_param_bytes(self, rng):
+        layer = Dense.random(16, 4, rng=rng)
+        assert layer.param_bytes == (16 * 4 + 4) * BYTES_PER_ELEMENT
+
+    def test_interact_concat(self, rng):
+        a = rng.standard_normal((2, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 4)).astype(np.float32)
+        assert interact([a, b], "concat").shape == (2, 8)
+
+    def test_interact_sum(self, rng):
+        a = rng.standard_normal((2, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 4)).astype(np.float32)
+        np.testing.assert_allclose(interact([a, b], "sum"), a + b, rtol=1e-6)
+
+    def test_interact_mul(self, rng):
+        a = rng.standard_normal((2, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 4)).astype(np.float32)
+        np.testing.assert_allclose(interact([a, b], "mul"), a * b, rtol=1e-6)
+
+    def test_interact_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            interact([np.zeros((2, 4)), np.zeros((2, 5))], "sum")
+
+    def test_interact_empty(self):
+        with pytest.raises(ValueError):
+            interact([], "sum")
+
+
+class TestModelZoo:
+    def test_table2_topologies(self):
+        # Table 2 of the paper, verbatim.
+        assert (NCF.num_tables, NCF.max_reduction, NCF.mlp_layers) == (4, 2, 4)
+        assert (YOUTUBE.num_tables, YOUTUBE.max_reduction, YOUTUBE.mlp_layers) == (2, 50, 4)
+        assert (FOX.num_tables, FOX.max_reduction, FOX.mlp_layers) == (2, 50, 1)
+        assert (FACEBOOK.num_tables, FACEBOOK.max_reduction, FACEBOOK.mlp_layers) == (8, 25, 6)
+
+    def test_default_embedding_dim_is_512(self):
+        for config in ALL_WORKLOADS:
+            assert config.embedding_dim == 512
+
+    def test_lookup_by_name(self):
+        assert workload("Fox") is FOX
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload("Netflix")
+
+    def test_small_scale_preserves_topology(self):
+        tiny = small_scale(FACEBOOK, rows=100)
+        assert tiny.rows_per_table == 100
+        assert tiny.num_tables == FACEBOOK.num_tables
+
+    def test_ncf_model_bytes_embedding_dominated(self):
+        # Fig. 3's message: embeddings dwarf the MLP at every point.
+        small_mlp = ncf_model_bytes(64, 512)
+        big_mlp = ncf_model_bytes(8192, 512)
+        assert big_mlp < 1.05 * small_mlp
+        assert ncf_model_bytes(64, 4096) > 7 * ncf_model_bytes(64, 512)
+
+    def test_ncf_model_bytes_scale(self):
+        # 20M entries x 512 floats x 4 B = ~38 GB (Fig. 3's midpoint).
+        size_gb = ncf_model_bytes(512, 512) / (1 << 30)
+        assert 35 < size_gb < 42
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ncf_model_bytes(0, 512)
+
+
+class TestRecSysConfig:
+    def test_pooling_fanin_concat_models(self):
+        assert YOUTUBE.pooling_fanin == 50
+        assert FACEBOOK.pooling_fanin == 25
+
+    def test_pooling_fanin_elementwise_models(self):
+        assert NCF.pooling_fanin == 1
+
+    def test_interaction_width(self):
+        assert YOUTUBE.interaction_width == 2 * 512
+        assert NCF.interaction_width == 512
+
+    def test_mlp_dims_structure(self):
+        dims = FACEBOOK.mlp_dims
+        assert dims[0] == 8 * 512 + FACEBOOK.dense_features
+        assert dims[-1] == 1
+        assert len(dims) == FACEBOOK.mlp_layers + 1
+
+    def test_gathered_bytes(self):
+        assert YOUTUBE.gathered_bytes(64) == 64 * 2 * 50 * 2048
+
+    def test_reduced_bytes_concat(self):
+        assert YOUTUBE.reduced_bytes(64) == 64 * 2 * 2048
+
+    def test_reduced_bytes_elementwise(self):
+        assert NCF.reduced_bytes(64) == 64 * 2048
+
+    def test_reduction_shrinks_traffic(self):
+        for config in ALL_WORKLOADS:
+            assert config.reduced_bytes(64) <= config.gathered_bytes(64)
+
+    def test_scaled_embedding(self):
+        big = YOUTUBE.scaled_embedding(4)
+        assert big.embedding_dim == 2048
+        assert big.num_tables == YOUTUBE.num_tables
+
+    def test_scale_factor_one_is_identity_dim(self):
+        assert YOUTUBE.scaled_embedding(1).embedding_dim == 512
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            YOUTUBE.scaled_embedding(0)
+
+    def test_invalid_combiner(self):
+        with pytest.raises(ValueError):
+            RecSysConfig("x", 2, 2, 2, combiner="xor")
+
+    def test_model_bytes_dominated_by_tables(self):
+        config = small_scale(YOUTUBE, rows=1_000_000)
+        table_bytes = 2 * 1_000_000 * 512 * 4
+        assert config.model_bytes() == pytest.approx(table_bytes, rel=0.05)
+
+
+class TestRecommenderModel:
+    @pytest.fixture
+    def tiny_model(self, rng):
+        return RecommenderModel(small_scale(YOUTUBE, rows=500), rng)
+
+    def test_forward_shape(self, tiny_model, rng):
+        sparse, dense = tiny_model.sample_inputs(8, rng)
+        out = tiny_model.forward(sparse, dense)
+        assert out.shape == (8,)
+
+    def test_probabilities(self, tiny_model, rng):
+        sparse, dense = tiny_model.sample_inputs(16, rng)
+        out = tiny_model.forward(sparse, dense)
+        assert ((out >= 0) & (out <= 1)).all()
+
+    def test_deterministic(self, tiny_model, rng):
+        sparse, dense = tiny_model.sample_inputs(4, np.random.default_rng(7))
+        a = tiny_model.forward(sparse, dense)
+        b = tiny_model.forward(sparse, dense)
+        np.testing.assert_array_equal(a, b)
+
+    def test_each_table_has_config_rows(self, tiny_model):
+        assert all(t.rows == 500 for t in tiny_model.tables)
+        assert len(tiny_model.tables) == 2
+
+    def test_ncf_uses_one_hot_inputs(self, rng):
+        model = RecommenderModel(small_scale(NCF, rows=100), rng)
+        sparse, _ = model.sample_inputs(4, rng)
+        assert all(idx.shape == (4,) for idx in sparse)
+
+    def test_multi_hot_inputs_shape(self, tiny_model, rng):
+        sparse, _ = tiny_model.sample_inputs(4, rng)
+        assert all(idx.shape == (4, 50) for idx in sparse)

@@ -1,0 +1,132 @@
+"""Tests for the sparse-index samplers and request generation."""
+
+import numpy as np
+import pytest
+
+from repro.models.model_zoo import FACEBOOK, NCF, YOUTUBE, small_scale
+from repro.workloads.distributions import UniformSampler, ZipfianSampler, make_sampler
+from repro.workloads.requests import RequestGenerator
+
+
+class TestUniformSampler:
+    def test_range(self):
+        sampler = UniformSampler(rows=100, seed=1)
+        samples = sampler.sample(10_000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_shape(self):
+        assert UniformSampler(100).sample((4, 7)).shape == (4, 7)
+
+    def test_dtype_int32(self):
+        assert UniformSampler(100).sample(5).dtype == np.int32
+
+    def test_reproducible(self):
+        a = UniformSampler(1000, seed=5).sample(100)
+        b = UniformSampler(1000, seed=5).sample(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_roughly_uniform(self):
+        samples = UniformSampler(10, seed=2).sample(100_000)
+        counts = np.bincount(samples, minlength=10)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+
+
+class TestZipfianSampler:
+    def test_range(self):
+        sampler = ZipfianSampler(rows=1000, alpha=1.1, seed=1)
+        samples = sampler.sample(10_000)
+        assert samples.min() >= 0
+        assert samples.max() < 1000
+
+    def test_skew(self):
+        """A Zipfian stream concentrates mass on few rows."""
+        sampler = ZipfianSampler(rows=100_000, alpha=1.0, seed=3)
+        samples = sampler.sample(50_000)
+        _, counts = np.unique(samples, return_counts=True)
+        top_share = np.sort(counts)[-100:].sum() / 50_000
+        assert top_share > 0.3
+
+    def test_more_skew_with_higher_alpha(self):
+        def distinct(alpha):
+            s = ZipfianSampler(rows=100_000, alpha=alpha, seed=3)
+            return len(np.unique(s.sample(20_000)))
+
+        assert distinct(1.5) < distinct(0.5)
+
+    def test_alpha_below_one_supported(self):
+        # NumPy's zipf requires alpha > 1; ours must not.
+        samples = ZipfianSampler(rows=100, alpha=0.5, seed=1).sample(1000)
+        assert samples.shape == (1000,)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ZipfianSampler(100, alpha=0.0)
+
+    def test_popular_rows_scattered(self):
+        """The rank->row permutation must spread hot rows over the table."""
+        sampler = ZipfianSampler(rows=10_000, alpha=1.2, seed=4)
+        samples = sampler.sample(20_000)
+        values, counts = np.unique(samples, return_counts=True)
+        hottest = values[np.argsort(counts)[-20:]]
+        assert hottest.std() > 1000  # not clustered at low ids
+
+
+class TestFactory:
+    def test_uniform(self):
+        assert isinstance(make_sampler("uniform", 10), UniformSampler)
+
+    def test_zipfian(self):
+        assert isinstance(make_sampler("zipfian", 10), ZipfianSampler)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_sampler("gaussian", 10)
+
+
+class TestRequestGenerator:
+    def test_batch_shapes_multi_hot(self):
+        gen = RequestGenerator(small_scale(YOUTUBE, rows=1000))
+        batch = gen.batch(16)
+        assert len(batch.sparse) == 2
+        assert all(idx.shape == (16, 50) for idx in batch.sparse)
+        assert batch.dense.shape == (16, YOUTUBE.dense_features)
+
+    def test_batch_shapes_one_hot(self):
+        gen = RequestGenerator(small_scale(NCF, rows=1000))
+        batch = gen.batch(8)
+        assert all(idx.shape == (8,) for idx in batch.sparse)
+
+    def test_batch_size_property(self):
+        gen = RequestGenerator(small_scale(FACEBOOK, rows=1000))
+        assert gen.batch(32).batch_size == 32
+
+    def test_total_lookups(self):
+        gen = RequestGenerator(small_scale(FACEBOOK, rows=1000))
+        batch = gen.batch(4)
+        assert batch.total_lookups == 4 * 8 * 25
+
+    def test_indices_within_table(self):
+        gen = RequestGenerator(small_scale(YOUTUBE, rows=77))
+        batch = gen.batch(64)
+        for idx in batch.sparse:
+            assert idx.max() < 77
+
+    def test_invalid_batch_size(self):
+        gen = RequestGenerator(small_scale(NCF, rows=10))
+        with pytest.raises(ValueError):
+            gen.batch(0)
+
+    def test_batches_iterator(self):
+        gen = RequestGenerator(small_scale(NCF, rows=10))
+        batches = list(gen.batches(4, count=3))
+        assert len(batches) == 3
+
+    def test_zipfian_distribution_supported(self):
+        gen = RequestGenerator(small_scale(YOUTUBE, rows=1000), distribution="zipfian")
+        batch = gen.batch(8)
+        assert batch.sparse[0].shape == (8, 50)
