@@ -1,0 +1,106 @@
+"""Simulator-throughput benchmark: simulated DRAM requests per second.
+
+This is a *meta*-benchmark: unlike the ``bench_figure*.py`` files, which
+regenerate the paper's results, this one measures how fast the simulator
+itself chews through TensorISA instruction traffic — the number that gates
+every serving-scale experiment on the ROADMAP.  It runs fixed, seeded
+GATHER and REDUCE workloads through ``TensorDimm.execute_timed`` (trace
+generation + functional execution + cycle-level FR-FCFS replay) and writes
+``BENCH_perf.json`` so future PRs can track the throughput trajectory.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py
+
+Schema of each entry: ``{workload, requests, wall_seconds, req_per_sec}``.
+The pre-PR scalar-engine baseline (measured on the same workloads, same
+machine class, before the vectorized trace engine / event-queue scheduler
+landed) is recorded alongside for the speedup ratio.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.isa import gather, reduce
+from repro.core.tensordimm import TensorDimm
+
+#: Measured with the per-record trace engine and O(window) rescan scheduler
+#: immediately before this overhaul (same seeded workloads below).
+BASELINE = {
+    "gather": {"requests": 16125, "wall_seconds": 1.1972, "req_per_sec": 13469.2},
+    "reduce": {"requests": 12000, "wall_seconds": 0.8384, "req_per_sec": 14313.0},
+}
+
+REPEATS = 3  # best-of, to shrug off scheduler noise
+
+
+def bench_gather(lookups=2000, wps=4, seed=7):
+    """Random-row GATHER: 2000 lookups x 4 words/slice (+ index reads)."""
+    rng = np.random.default_rng(seed)
+    dimm = TensorDimm(0, 2, capacity_words=1 << 18)
+    idx = rng.integers(0, 4096, size=lookups).astype(np.int32)
+    dimm.write_indices(200000, idx)
+    instr = gather(0, 200000, 2 * 60000, lookups, words_per_slice=wps)
+    t0 = time.perf_counter()
+    timed = dimm.execute_timed(instr)
+    return timed.dram_stats.accesses, time.perf_counter() - t0
+
+
+def bench_reduce(count=4000):
+    """Streaming binary REDUCE: 2 reads + 1 write per output word."""
+    dimm = TensorDimm(0, 2, capacity_words=1 << 18)
+    instr = reduce(0, 2 * 8192, 2 * 16384, count)
+    t0 = time.perf_counter()
+    timed = dimm.execute_timed(instr)
+    return timed.dram_stats.accesses, time.perf_counter() - t0
+
+
+WORKLOADS = {"gather": bench_gather, "reduce": bench_reduce}
+
+
+def run() -> dict:
+    entries = []
+    for name, fn in WORKLOADS.items():
+        fn()  # warmup (allocations, numpy caches)
+        best = None
+        for _ in range(REPEATS):
+            requests, seconds = fn()
+            if best is None or seconds < best[1]:
+                best = (requests, seconds)
+        requests, seconds = best
+        baseline = BASELINE[name]
+        assert requests == baseline["requests"], (
+            f"{name}: workload drifted ({requests} requests vs "
+            f"{baseline['requests']} at baseline) — re-baseline before comparing"
+        )
+        entries.append(
+            {
+                "workload": name,
+                "requests": requests,
+                "wall_seconds": round(seconds, 4),
+                "req_per_sec": round(requests / seconds, 1),
+                "baseline": baseline,
+                "speedup": round((requests / seconds) / baseline["req_per_sec"], 2),
+            }
+        )
+    return {"entries": entries}
+
+
+def main() -> None:
+    report = run()
+    out = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for entry in report["entries"]:
+        print(
+            f"{entry['workload']:>8}: {entry['requests']} requests in "
+            f"{entry['wall_seconds']:.3f}s = {entry['req_per_sec']:,.0f} req/s "
+            f"({entry['speedup']:.2f}x over pre-PR baseline)"
+        )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

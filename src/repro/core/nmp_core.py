@@ -15,6 +15,7 @@ The functional semantics follow the pseudo code of Fig. 9 exactly, with the
 ``64 * node_dim`` bytes (see :mod:`repro.core.isa`).
 """
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +28,7 @@ from ..config import (
     NMP_ALU_LANES,
     NMP_QUEUE_DELAY_S,
 )
-from ..dram.command import TraceRequest
+from ..dram.command import TraceBuffer
 from ..dram.storage import WordStorage
 from .isa import Instruction, Opcode, ReduceOp
 
@@ -46,7 +47,7 @@ class SramQueue:
         if capacity_bytes < ACCESS_GRANULARITY:
             raise ValueError("queue must hold at least one 64 B word")
         self.capacity_words = capacity_bytes // ACCESS_GRANULARITY
-        self._entries: list[np.ndarray] = []
+        self._entries: deque[np.ndarray] = deque()
         self.high_water_words = 0
         self.total_pushed = 0
 
@@ -67,7 +68,7 @@ class SramQueue:
     def pop(self) -> np.ndarray:
         if not self._entries:
             raise IndexError("SRAM queue underflow")
-        return self._entries.pop(0)
+        return self._entries.popleft()
 
 
 class VectorAlu:
@@ -184,6 +185,10 @@ class NmpCore:
         self.queue_a = SramQueue(required_queue_bytes())
         self.queue_b = SramQueue(required_queue_bytes())
         self.queue_out = SramQueue(required_queue_bytes())
+        # One-slot index-buffer cache: trace() and execute() of the same
+        # instruction both read the replicated index buffer; the second read
+        # is served from here as long as the storage has not been written.
+        self._index_cache: tuple[tuple[int, int], int, np.ndarray] | None = None
 
     # -- address helpers ------------------------------------------------------
 
@@ -216,10 +221,20 @@ class NmpCore:
         raise ValueError(f"unknown opcode {instr.opcode}")
 
     def _read_index_buffer(self, instr: Instruction) -> np.ndarray:
-        """Read ``count`` int32 lookup indices from the replicated buffer."""
+        """Read ``count`` int32 lookup indices from the replicated buffer.
+
+        Cached per (base, count) until the backing storage is written, so
+        tracing and then executing the same instruction reads DRAM once.
+        """
+        key = (instr.index_base, instr.count)
+        cached = self._index_cache
+        if cached is not None and cached[0] == key and cached[1] == self.storage.version:
+            return cached[2]
         index_words = -(-instr.count // ELEMS_PER_WORD)
         raw = self.storage.read_indices(instr.index_base, index_words)
-        return raw[: instr.count]
+        indices = raw[: instr.count]
+        self._index_cache = (key, self.storage.version, indices)
+        return indices
 
     def _execute_gather(self, instr: Instruction) -> NmpExecStats:
         rows = self._read_index_buffer(instr)
@@ -247,8 +262,8 @@ class NmpCore:
         in2 = self._local_base(instr.aux)
         out = self._local_base(instr.output_base)
         count = instr.count
-        a = self.storage.read_words(in1 + np.arange(count))
-        b = self.storage.read_words(in2 + np.arange(count))
+        a = self.storage.read_range(in1, count)
+        b = self.storage.read_range(in2, count)
         alu_before = self.alu.busy_cycles
         result = self.alu.elementwise(a, b, instr.subop)
         self.storage.write_words(out, result)
@@ -277,7 +292,7 @@ class NmpCore:
                 f"AVERAGE count {count} not divisible by words_per_slice {wps}"
             )
         out_rows = count // wps
-        words = self.storage.read_words(src + np.arange(count * group))
+        words = self.storage.read_range(src, count * group)
         alu_before = self.alu.busy_cycles
         # (out_rows, group, wps, 16): group members are whole rows.
         grouped = words.reshape(out_rows, group, wps, ELEMS_PER_WORD)
@@ -306,7 +321,7 @@ class NmpCore:
         wps = instr.words_per_slice
         grad_local = self._local_base(instr.input_base)
         table_local = self._local_base(instr.output_base)
-        grads = self.storage.read_words(grad_local + np.arange(instr.count * wps))
+        grads = self.storage.read_range(grad_local, instr.count * wps)
         grads = grads.reshape(instr.count, wps, ELEMS_PER_WORD)
         if instr.subop == ReduceOp.SUB:
             grads = -grads
@@ -332,60 +347,71 @@ class NmpCore:
 
     # -- trace generation ---------------------------------------------------------
 
-    def trace(self, instr: Instruction) -> list[TraceRequest]:
+    def trace(self, instr: Instruction) -> TraceBuffer:
         """DIMM-local DRAM transactions this instruction generates, in
-        program order, as 64 B byte-address records for the timing model."""
+        program order, as a columnar 64 B byte-address trace for the timing
+        model.  Addresses are built with whole-array arithmetic; the record
+        order is identical to the original per-word expansion.
+        """
         word = ACCESS_GRANULARITY
-        records: list[TraceRequest] = []
         if instr.opcode == Opcode.GATHER:
-            rows = self._read_index_buffer(instr)
+            rows = self._read_index_buffer(instr).astype(np.int64)
             wps = instr.words_per_slice
             table_local = self._local_base(instr.table_base)
             out_local = self._local_base(instr.output_base)
             index_words = -(-instr.count // ELEMS_PER_WORD)
-            for i in range(index_words):
-                records.append(TraceRequest(0, (instr.index_base + i) * word, False))
-            for i, row in enumerate(rows):
-                src = table_local + int(row) * wps
-                for k in range(wps):
-                    records.append(TraceRequest(0, (src + k) * word, False))
-                dst = out_local + i * wps
-                for k in range(wps):
-                    records.append(TraceRequest(0, (dst + k) * word, True))
-            return records
+            idx_addrs = instr.index_base + np.arange(index_words, dtype=np.int64)
+            # Per row: wps source reads then wps destination writes.
+            offsets = np.arange(wps, dtype=np.int64)
+            src = (table_local + rows * wps)[:, None] + offsets
+            dst = (out_local + np.arange(len(rows), dtype=np.int64) * wps)[:, None] + offsets
+            body = np.concatenate([src, dst], axis=1).reshape(-1)
+            addrs = np.concatenate([idx_addrs, body])
+            is_write = np.concatenate(
+                [
+                    np.zeros(index_words, dtype=bool),
+                    np.tile(np.repeat([False, True], wps), len(rows)),
+                ]
+            )
+            return TraceBuffer(addrs * word, is_write)
         if instr.opcode == Opcode.REDUCE:
             in1 = self._local_base(instr.input_base)
             in2 = self._local_base(instr.aux)
             out = self._local_base(instr.output_base)
-            for i in range(instr.count):
-                records.append(TraceRequest(0, (in1 + i) * word, False))
-                records.append(TraceRequest(0, (in2 + i) * word, False))
-                records.append(TraceRequest(0, (out + i) * word, True))
-            return records
+            i = np.arange(instr.count, dtype=np.int64)[:, None]
+            addrs = (np.array([in1, in2, out], dtype=np.int64) + i).reshape(-1)
+            is_write = np.tile(np.array([False, False, True]), instr.count)
+            return TraceBuffer(addrs * word, is_write)
         if instr.opcode == Opcode.AVERAGE:
             src = self._local_base(instr.input_base)
             out = self._local_base(instr.output_base)
             wps = instr.words_per_slice
-            for i in range(instr.count):
-                row, k = divmod(i, wps)
-                for j in range(instr.average_num):
-                    addr = src + (row * instr.average_num + j) * wps + k
-                    records.append(TraceRequest(0, addr * word, False))
-                records.append(TraceRequest(0, (out + i) * word, True))
-            return records
+            group = instr.average_num
+            i = np.arange(instr.count, dtype=np.int64)
+            row, k = i // wps, i % wps
+            # Per output word: its group's reads, then one write.
+            reads = src + ((row * group)[:, None] + np.arange(group, dtype=np.int64)) * wps + k[:, None]
+            addrs = np.concatenate([reads, (out + i)[:, None]], axis=1).reshape(-1)
+            is_write = np.tile(np.append(np.zeros(group, dtype=bool), True), instr.count)
+            return TraceBuffer(addrs * word, is_write)
         if instr.opcode == Opcode.UPDATE:
-            rows = self._read_index_buffer(instr)
+            rows = self._read_index_buffer(instr).astype(np.int64)
             wps = instr.words_per_slice
             grad_local = self._local_base(instr.input_base)
             table_local = self._local_base(instr.output_base)
             index_words = -(-instr.count // ELEMS_PER_WORD)
-            for i in range(index_words):
-                records.append(TraceRequest(0, (instr.index_base + i) * word, False))
-            for i, row in enumerate(rows):
-                target = table_local + int(row) * wps
-                for k in range(wps):
-                    records.append(TraceRequest(0, (grad_local + i * wps + k) * word, False))
-                    records.append(TraceRequest(0, (target + k) * word, False))
-                    records.append(TraceRequest(0, (target + k) * word, True))
-            return records
+            idx_addrs = instr.index_base + np.arange(index_words, dtype=np.int64)
+            offsets = np.arange(wps, dtype=np.int64)
+            # Per (row, word): gradient read, table read, table write.
+            grad = (grad_local + np.arange(len(rows), dtype=np.int64) * wps)[:, None] + offsets
+            target = (table_local + rows * wps)[:, None] + offsets
+            body = np.stack([grad, target, target], axis=2).reshape(-1)
+            addrs = np.concatenate([idx_addrs, body])
+            is_write = np.concatenate(
+                [
+                    np.zeros(index_words, dtype=bool),
+                    np.tile(np.array([False, False, True]), len(rows) * wps),
+                ]
+            )
+            return TraceBuffer(addrs * word, is_write)
         raise ValueError(f"unknown opcode {instr.opcode}")

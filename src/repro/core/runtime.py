@@ -84,15 +84,18 @@ class TensorDimmRuntime:
 
     def _run(self, name: str, instructions: list[Instruction]) -> KernelLaunch:
         launch = KernelLaunch(name=name, instructions=instructions)
+        if self.timing_mode == "cycle":
+            for stats in self.node.broadcast_timed_batch(instructions):
+                launch.node_stats.append(stats)
+                launch.seconds += stats.seconds
+            self.launches.append(launch)
+            return launch
         for instr in instructions:
-            if self.timing_mode == "cycle":
-                stats = self.node.broadcast_timed(instr)
-            else:
-                stats = self.node.broadcast(instr)
-                if self.timing_mode == "analytic":
-                    per_dimm = max(s.pipelined_seconds(self._effective_dimm_bandwidth)
-                                   for s in stats.per_dimm)
-                    stats.seconds = per_dimm
+            stats = self.node.broadcast(instr)
+            if self.timing_mode == "analytic":
+                per_dimm = max(s.pipelined_seconds(self._effective_dimm_bandwidth)
+                               for s in stats.per_dimm)
+                stats.seconds = per_dimm
             launch.node_stats.append(stats)
             launch.seconds += stats.seconds
         self.launches.append(launch)

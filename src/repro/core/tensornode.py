@@ -162,3 +162,23 @@ class TensorNode:
             else:
                 per_dimm.append(dimm.execute(instr))
         return NodeExecStats(per_dimm=per_dimm, seconds=seconds)
+
+    def broadcast_timed_batch(
+        self,
+        instrs: list[Instruction],
+        refresh_enabled: bool = True,
+        simulate_dimms: int | None = 1,
+    ) -> list[NodeExecStats]:
+        """Execute a whole instruction sequence with cycle-level timing.
+
+        Equivalent to calling :meth:`broadcast_timed` per instruction (the
+        DIMMs' reusable controllers already amortize per-instruction setup);
+        exists so runtimes and sweeps can hand over a kernel's full
+        instruction stream in one call.
+        """
+        return [
+            self.broadcast_timed(
+                instr, refresh_enabled=refresh_enabled, simulate_dimms=simulate_dimms
+            )
+            for instr in instrs
+        ]

@@ -13,7 +13,7 @@ Public surface:
 """
 
 from .cache import Cache, CacheHierarchy, CacheStats
-from .command import Command, Request, TraceRequest
+from .command import Command, Request, TraceBuffer, TraceRequest
 from .controller import ControllerStats, MemoryController
 from .mapping import (
     BANK_INTERLEAVED_ORDER,
@@ -46,6 +46,7 @@ __all__ = [
     "Request",
     "SPEED_GRADES",
     "SystemStats",
+    "TraceBuffer",
     "TraceRequest",
     "WordStorage",
 ]

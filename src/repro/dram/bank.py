@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from .timing import DramTiming
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """State of one DRAM bank."""
 
@@ -67,6 +67,17 @@ class Rank:
         self.next_refresh = timing.refi
         self.stats_acts = 0
         self.stats_refreshes = 0
+        # Scalar snapshots of the derived timing terms: the scheduler calls
+        # the earliest_* queries on every step, and recomputing property
+        # chains (cwl + burst + tWTR, ...) per call dominates their cost.
+        self._ccd_s = timing.ccd_s
+        self._ccd_l = timing.ccd_l
+        self._rrd_s = timing.rrd_s
+        self._rrd_l = timing.rrd_l
+        self._faw = timing.faw
+        self._wtr_same = timing.write_to_read(same_bank_group=True)
+        self._wtr_diff = timing.write_to_read(same_bank_group=False)
+        self._rd_to_wr = timing.read_to_write
 
     def bank(self, bankgroup: int, bank: int) -> Bank:
         return self.banks[bankgroup][bank]
@@ -79,33 +90,60 @@ class Rank:
 
     def earliest_act(self, bankgroup: int) -> int:
         """Earliest cycle an ACT to ``bankgroup`` satisfies tRRD and tFAW."""
-        t = self.timing
         bound = max(
-            self._last_act + t.rrd_s,
-            self._last_act_by_group[bankgroup] + t.rrd_l,
+            self._last_act + self._rrd_s,
+            self._last_act_by_group[bankgroup] + self._rrd_l,
         )
         if len(self._act_window) == 4:
-            bound = max(bound, self._act_window[0] + t.faw)
+            bound = max(bound, self._act_window[0] + self._faw)
         return bound
 
     def earliest_read(self, bankgroup: int) -> int:
         """Earliest RD honouring tCCD and tWTR within this rank."""
-        t = self.timing
         return max(
-            self._last_rd + t.ccd_s,
-            self._last_rd_by_group[bankgroup] + t.ccd_l,
-            self._last_wr + t.write_to_read(same_bank_group=False),
-            self._last_wr_by_group[bankgroup] + t.write_to_read(same_bank_group=True),
+            self._last_rd + self._ccd_s,
+            self._last_rd_by_group[bankgroup] + self._ccd_l,
+            self._last_wr + self._wtr_diff,
+            self._last_wr_by_group[bankgroup] + self._wtr_same,
         )
 
     def earliest_write(self, bankgroup: int) -> int:
         """Earliest WR honouring tCCD and the RD-to-WR turnaround."""
-        t = self.timing
         return max(
-            self._last_wr + t.ccd_s,
-            self._last_wr_by_group[bankgroup] + t.ccd_l,
-            self._last_rd + t.read_to_write,
+            self._last_wr + self._ccd_s,
+            self._last_wr_by_group[bankgroup] + self._ccd_l,
+            self._last_rd + self._rd_to_wr,
         )
+
+    # -- batched queries (one call per rank per scheduling step) ------------
+
+    def earliest_acts(self) -> list:
+        """:meth:`earliest_act` for every bankgroup in one pass."""
+        base = self._last_act + self._rrd_s
+        if len(self._act_window) == 4:
+            faw_bound = self._act_window[0] + self._faw
+            if faw_bound > base:
+                base = faw_bound
+        rrd_l = self._rrd_l
+        return [
+            max(base, last + rrd_l) for last in self._last_act_by_group
+        ]
+
+    def earliest_reads(self) -> list:
+        """:meth:`earliest_read` for every bankgroup in one pass."""
+        base = max(self._last_rd + self._ccd_s, self._last_wr + self._wtr_diff)
+        ccd_l = self._ccd_l
+        wtr_same = self._wtr_same
+        return [
+            max(base, rd + ccd_l, wr + wtr_same)
+            for rd, wr in zip(self._last_rd_by_group, self._last_wr_by_group)
+        ]
+
+    def earliest_writes(self) -> list:
+        """:meth:`earliest_write` for every bankgroup in one pass."""
+        base = max(self._last_wr + self._ccd_s, self._last_rd + self._rd_to_wr)
+        ccd_l = self._ccd_l
+        return [max(base, wr + ccd_l) for wr in self._last_wr_by_group]
 
     # -- state updates ------------------------------------------------------
 

@@ -4,6 +4,23 @@ import itertools
 from dataclasses import dataclass, field
 from enum import Enum, auto
 
+import numpy as np
+
+#: Global request sequence counter.  FR-FCFS breaks ties by age, so every
+#: request entering a controller — through the scalar or the batched path —
+#: draws its sequence number from the same monotonic source.
+_seq_counter = itertools.count()
+
+
+def next_seq() -> int:
+    """Draw the next request sequence number (monotonic, process-wide)."""
+    return next(_seq_counter)
+
+
+def reserve_seqs(n: int) -> list:
+    """Draw ``n`` consecutive sequence numbers at once (batched enqueue)."""
+    return list(itertools.islice(_seq_counter, n))
+
 
 class Command(Enum):
     """DDR4 commands the controller can issue."""
@@ -35,7 +52,7 @@ class Request:
     row: int = 0
     column: int = 0
     completion: int = -1
-    seq: int = field(default_factory=itertools.count().__next__)
+    seq: int = field(default_factory=next_seq)
 
     @property
     def done(self) -> bool:
@@ -54,3 +71,98 @@ class TraceRequest:
     cycle: int
     addr: int
     is_write: bool
+
+
+class TraceBuffer:
+    """A columnar memory trace: parallel numpy arrays instead of objects.
+
+    The hot path of the simulator moves whole instruction traces around —
+    tens of thousands of 64 B transactions per TensorISA instruction — and
+    a ``list[TraceRequest]`` costs one Python object plus one append per
+    word.  ``TraceBuffer`` stores the same records as three parallel arrays
+    (``addr`` int64 byte addresses, ``is_write`` bool, ``cycle`` int64
+    arrival cycles) so trace generation, address decoding, and enqueueing
+    can all run as single numpy operations.
+
+    The buffer is a sequence of :class:`TraceRequest`-shaped records:
+    iterating or indexing yields ``TraceRequest`` objects, so every legacy
+    consumer (``summarize``, scalar ``enqueue`` loops, tests) keeps working
+    unchanged.
+    """
+
+    __slots__ = ("addr", "is_write", "cycle")
+
+    def __init__(self, addr, is_write, cycle=None):
+        self.addr = np.ascontiguousarray(addr, dtype=np.int64)
+        if self.addr.ndim != 1:
+            raise ValueError("addr must be a 1-D array")
+        n = self.addr.shape[0]
+        is_write = np.asarray(is_write, dtype=bool)
+        if is_write.ndim == 0:
+            is_write = np.broadcast_to(is_write, (n,)).copy()
+        if is_write.shape != (n,):
+            raise ValueError("is_write must match addr length")
+        self.is_write = np.ascontiguousarray(is_write)
+        if cycle is None:
+            cycle = np.zeros(n, dtype=np.int64)
+        else:
+            cycle = np.asarray(cycle, dtype=np.int64)
+            if cycle.ndim == 0:
+                cycle = np.broadcast_to(cycle, (n,)).copy()
+            if cycle.shape != (n,):
+                raise ValueError("cycle must match addr length")
+        self.cycle = np.ascontiguousarray(cycle)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records) -> "TraceBuffer":
+        """Build a buffer from any iterable of :class:`TraceRequest`."""
+        records = list(records)
+        return cls(
+            addr=np.fromiter((r.addr for r in records), dtype=np.int64, count=len(records)),
+            is_write=np.fromiter(
+                (r.is_write for r in records), dtype=bool, count=len(records)
+            ),
+            cycle=np.fromiter((r.cycle for r in records), dtype=np.int64, count=len(records)),
+        )
+
+    @classmethod
+    def concat(cls, buffers) -> "TraceBuffer":
+        """Concatenate several buffers in order."""
+        buffers = [b if isinstance(b, TraceBuffer) else cls.from_records(b) for b in buffers]
+        if not buffers:
+            return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+        return cls(
+            addr=np.concatenate([b.addr for b in buffers]),
+            is_write=np.concatenate([b.is_write for b in buffers]),
+            cycle=np.concatenate([b.cycle for b in buffers]),
+        )
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.addr.shape[0]
+
+    def __iter__(self):
+        for addr, is_write, cycle in zip(
+            self.addr.tolist(), self.is_write.tolist(), self.cycle.tolist()
+        ):
+            yield TraceRequest(cycle=cycle, addr=addr, is_write=is_write)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return TraceBuffer(self.addr[i], self.is_write[i], self.cycle[i])
+        return TraceRequest(
+            cycle=int(self.cycle[i]), addr=int(self.addr[i]), is_write=bool(self.is_write[i])
+        )
+
+    # -- summaries ------------------------------------------------------------
+
+    @property
+    def writes(self) -> int:
+        return int(np.count_nonzero(self.is_write))
+
+    @property
+    def reads(self) -> int:
+        return len(self) - self.writes

@@ -10,13 +10,35 @@ auto-refresh is modelled with all-bank REF every tREFI.
 The loop is event-driven rather than per-cycle ticked: every iteration picks
 the next command and advances time directly to its issue cycle, which keeps
 the Python implementation fast while preserving cycle-resolution timing.
+
+Two schedulers implement the same policy:
+
+* ``"indexed"`` (default) — the working queue is indexed per bank.  Within
+  one bank all row-hit candidates share the same earliest issue cycle (it
+  depends only on bank/rank/bus state), as do all row-miss candidates, so
+  FR-FCFS age tie-breaking reduces each bank to at most two candidates: its
+  oldest row hit and its oldest non-hit.  One step therefore evaluates
+  O(active banks) timing expressions instead of O(window), and completed
+  entries leave the queues by swap-pop instead of an O(n) ``list.remove``.
+* ``"scan"`` — the original implementation that re-evaluates every entry in
+  the window each step.  Kept as the golden reference; the parity tests
+  assert both produce bit-identical :class:`ControllerStats` and command
+  streams.  Configurations where the write queue can outgrow the window
+  (``write_high_watermark > window``) always use this path, because the
+  window slice is then observable.
+
+Requests enter either one at a time (:meth:`MemoryController.enqueue`) or as
+a whole columnar trace (:meth:`MemoryController.enqueue_batch`), which
+decodes every address in one vectorized pass.
 """
 
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from .bank import Rank
-from .command import Request
+from .command import Request, TraceBuffer, reserve_seqs
 from .mapping import AddressMapping, DramOrganization
 from .timing import DramTiming
 
@@ -71,14 +93,92 @@ class ControllerStats:
 
 
 class _Entry:
-    """A queued request plus its row-buffer outcome bookkeeping."""
+    """A queued request: decoded coordinates plus scheduling bookkeeping.
 
-    __slots__ = ("request", "needed_act", "needed_pre")
+    ``request`` is the originating :class:`Request` for the scalar enqueue
+    path (coordinates and completion are written back to it); the batched
+    path leaves it ``None`` and carries the fields directly.  ``qpos`` /
+    ``bpos`` are the entry's positions in the working queue and its bank
+    list, maintained so the indexed scheduler can swap-pop in O(1).
+    """
 
-    def __init__(self, request: Request):
-        self.request = request
+    __slots__ = (
+        "addr",
+        "is_write",
+        "arrival",
+        "rank",
+        "bankgroup",
+        "bank",
+        "row",
+        "column",
+        "seq",
+        "needed_act",
+        "needed_pre",
+        "request",
+        "flat",
+        "qpos",
+        "bpos",
+    )
+
+    def __init__(self, addr, is_write, arrival, rank, bankgroup, bank, row, column, seq, request=None):
+        self.addr = addr
+        self.is_write = is_write
+        self.arrival = arrival
+        self.rank = rank
+        self.bankgroup = bankgroup
+        self.bank = bank
+        self.row = row
+        self.column = column
+        self.seq = seq
         self.needed_act = False
         self.needed_pre = False
+        self.request = request
+        self.flat = -1
+        self.qpos = -1
+        self.bpos = -1
+
+
+class _BankQueue:
+    """One bank's slice of a working queue, with cached FR-FCFS candidates.
+
+    A bank contributes at most two candidates per scheduling step: its
+    oldest row-hit entry and its oldest non-hit entry (or, when the bank is
+    precharged, simply its oldest entry).  Those minima only change when the
+    bank's entry set or its open row changes, so they are cached here and
+    recomputed lazily after an invalidation instead of rescanned every step.
+
+    ``hit``/``miss`` are classified against the bank's open row at the time
+    of the last rescan (or incremental admit); every event that changes the
+    open row — ACT, PRE, refresh, closed-page auto-precharge — must clear
+    ``valid``.
+    """
+
+    __slots__ = (
+        "entries",
+        "bank",
+        "bgflat",
+        "flat",
+        "valid",
+        "min_all",
+        "min_all_seq",
+        "hit",
+        "hit_seq",
+        "miss",
+        "miss_seq",
+    )
+
+    def __init__(self, bank, bgflat, flat):
+        self.entries: list[_Entry] = []
+        self.bank = bank  # the Bank state object, resolved once
+        self.bgflat = bgflat  # flat (rank, bankgroup) id
+        self.flat = flat  # flat bank id
+        self.valid = False
+        self.min_all = None
+        self.min_all_seq = 1 << 62
+        self.hit = None
+        self.hit_seq = 1 << 62
+        self.miss = None
+        self.miss_seq = 1 << 62
 
 
 class MemoryController:
@@ -94,25 +194,68 @@ class MemoryController:
         write_low_watermark: int = 8,
         refresh_enabled: bool = True,
         row_policy: str = "open",
+        scheduler: str = "indexed",
     ):
         if row_policy not in ("open", "closed"):
             raise ValueError(f"unknown row policy {row_policy!r}")
+        if scheduler not in ("indexed", "scan"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        if write_low_watermark >= write_high_watermark:
+            # With low == high the drain state flips after every command and
+            # mixed read/write traffic to conflicting rows can ping-pong
+            # ACT/PRE forever without ever issuing a column command.
+            raise ValueError(
+                "write_low_watermark must be below write_high_watermark "
+                f"(got {write_low_watermark} >= {write_high_watermark})"
+            )
         self.timing = timing.scaled_refresh(refresh_enabled)
         self.organization = organization or DramOrganization()
         self.mapping = mapping or AddressMapping(self.organization)
         self.window = window
         self.row_policy = row_policy
+        self.scheduler = scheduler
         self.write_high = write_high_watermark
         self.write_low = write_low_watermark
+        # Scalar timing snapshots for the per-step hot path.
+        self._t_cl = self.timing.cl
+        self._t_cwl = self.timing.cwl
+        self._t_burst = self.timing.burst_cycles
+        self._t_rtrs = self.timing.rtrs
+        self._t_rtp = self.timing.rtp
+        self._t_w2p = self.timing.write_to_precharge
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore pristine post-construction state (queues, banks, stats).
+
+        Much cheaper than building a new controller — the organization,
+        mapping (with its cached field layout), and timing are reused — so
+        callers replaying many independent traces (one per TensorISA
+        instruction) can amortize construction.
+        """
+        org = self.organization
         self.ranks = [
-            Rank(self.timing, self.organization.bankgroups, self.organization.banks_per_group)
-            for _ in range(self.organization.ranks)
+            Rank(self.timing, org.bankgroups, org.banks_per_group)
+            for _ in range(org.ranks)
         ]
+        # Flat-indexed views (key = ((rank * BG) + bg) * BPG + bank) so the
+        # scheduler resolves bank/rank state without attribute chains.
+        self._flat_bank = []
+        self._flat_rank = []
+        self._flat_bgflat = []
+        for r, rank in enumerate(self.ranks):
+            for bg in range(org.bankgroups):
+                for bank in range(org.banks_per_group):
+                    self._flat_bank.append(rank.banks[bg][bank])
+                    self._flat_rank.append(rank)
+                    self._flat_bgflat.append(r * org.bankgroups + bg)
         self.stats = ControllerStats()
         self._read_backlog: deque[_Entry] = deque()
         self._write_backlog: deque[_Entry] = deque()
         self._read_q: list[_Entry] = []
         self._write_q: list[_Entry] = []
+        self._read_banks: dict[int, _BankQueue] = {}
+        self._write_banks: dict[int, _BankQueue] = {}
         self._draining_writes = False
         self._bus_free = 0
         self._bus_rank = -1
@@ -134,11 +277,68 @@ class MemoryController:
         request.bank = coords["bank"]
         request.row = coords["row"]
         request.column = coords["column"]
-        entry = _Entry(request)
+        entry = _Entry(
+            request.addr,
+            request.is_write,
+            request.arrival,
+            request.rank,
+            request.bankgroup,
+            request.bank,
+            request.row,
+            request.column,
+            request.seq,
+            request=request,
+        )
         if request.is_write:
             self._write_backlog.append(entry)
         else:
             self._read_backlog.append(entry)
+
+    def enqueue_batch(self, trace, arrival=None) -> None:
+        """Decode and queue a whole columnar trace in one vectorized pass.
+
+        ``trace`` is a :class:`TraceBuffer` (its ``cycle`` column provides
+        per-request arrival times unless ``arrival`` overrides them).  The
+        records join the same backlogs as scalar :meth:`enqueue` calls, in
+        trace order, with sequence numbers drawn from the shared counter —
+        scheduling is bit-identical to enqueueing the records one by one.
+        """
+        if not isinstance(trace, TraceBuffer):
+            trace = TraceBuffer.from_records(trace)
+        n = len(trace)
+        if n == 0:
+            return
+        addr = trace.addr
+        if addr.min() < 0 or addr.max() >= self.organization.capacity_bytes:
+            bad = addr[(addr < 0) | (addr >= self.organization.capacity_bytes)][0]
+            raise ValueError(
+                f"address {int(bad):#x} outside channel capacity "
+                f"{self.organization.capacity_bytes:#x}"
+            )
+        coords = self.mapping.decode_batch(addr)
+        if arrival is None:
+            arrivals = trace.cycle.tolist()
+        else:
+            arrivals = np.broadcast_to(np.asarray(arrival, dtype=np.int64), (n,)).tolist()
+        seqs = reserve_seqs(n)
+        read_append = self._read_backlog.append
+        write_append = self._write_backlog.append
+        for a, w, arr, rk, bg, bk, row, col, seq in zip(
+            addr.tolist(),
+            trace.is_write.tolist(),
+            arrivals,
+            coords["rank"].tolist(),
+            coords["bankgroup"].tolist(),
+            coords["bank"].tolist(),
+            coords["row"].tolist(),
+            coords["column"].tolist(),
+            seqs,
+        ):
+            entry = _Entry(a, w, arr, rk, bg, bk, row, col, seq)
+            if w:
+                write_append(entry)
+            else:
+                read_append(entry)
 
     @property
     def pending(self) -> int:
@@ -150,13 +350,23 @@ class MemoryController:
         )
 
     def run_to_completion(self) -> ControllerStats:
-        """Service every queued request and return the run statistics."""
+        """Service every queued request and return the run statistics.
+
+        The indexed runner considers every admitted write, while the scan
+        reference only schedules from the first ``window`` write-queue
+        entries; the two are equivalent iff the write queue cannot outgrow
+        the window.  Configurations with ``write_high > window`` therefore
+        fall back to the scan scheduler so results stay bit-identical to
+        the reference in every configuration.
+        """
+        if self.scheduler == "indexed" and self.write_high <= self.window:
+            return self._run_indexed()
         while self.pending:
             self._admit()
             if not self._read_q and not self._write_q:
                 self._now = max(self._now, self._next_arrival())
                 continue
-            self._step()
+            self._step_scan()
         self.stats.finish_cycle = max(self.stats.finish_cycle, self._now)
         return self.stats
 
@@ -168,29 +378,30 @@ class MemoryController:
     def _next_arrival(self) -> int:
         candidates = []
         if self._read_backlog:
-            candidates.append(self._read_backlog[0].request.arrival)
+            candidates.append(self._read_backlog[0].arrival)
         if self._write_backlog:
-            candidates.append(self._write_backlog[0].request.arrival)
+            candidates.append(self._write_backlog[0].arrival)
         return min(candidates) if candidates else self._now
 
     def _admit(self) -> None:
-        """Move arrived backlog entries into the small working queues."""
-        while (
-            len(self._read_q) < self.window
-            and self._read_backlog
-            and self._read_backlog[0].request.arrival <= self._now
-        ):
-            self._read_q.append(self._read_backlog.popleft())
-        while (
-            len(self._write_q) < self.write_high
-            and self._write_backlog
-            and self._write_backlog[0].request.arrival <= self._now
-        ):
-            self._write_q.append(self._write_backlog.popleft())
+        """Move arrived backlog entries into the small working queues.
+
+        (Scan-scheduler helper; the indexed runner inlines admission and
+        additionally maintains the per-bank queues.)
+        """
+        now = self._now
+        backlog = self._read_backlog
+        queue = self._read_q
+        while len(queue) < self.window and backlog and backlog[0].arrival <= now:
+            queue.append(backlog.popleft())
+        backlog = self._write_backlog
+        queue = self._write_q
+        while len(queue) < self.write_high and backlog and backlog[0].arrival <= now:
+            queue.append(backlog.popleft())
 
     # -- scheduling ----------------------------------------------------------
 
-    def _active_queue(self) -> list[_Entry]:
+    def _active_queue(self) -> list:
         write_pressure = len(self._write_q) + len(self._write_backlog)
         reads_pending = bool(self._read_q)
         if self._draining_writes:
@@ -202,22 +413,405 @@ class MemoryController:
             return self._write_q
         return self._read_q if self._read_q else self._write_q
 
-    def _step(self) -> None:
+    def _step_scan(self) -> None:
+        """Reference scheduler: re-evaluate every entry in the window."""
         self._maybe_refresh()
         queue = self._active_queue()
         if not queue:
             return
         best = None
         for entry in queue[: self.window]:
-            cmd, when = self._next_command(entry.request)
-            ready = max(when, entry.request.arrival, self._cmd_free, self._now)
-            key = (ready, 0 if cmd == "col" else 1, entry.request.seq)
+            cmd, when = self._next_command(entry)
+            ready = max(when, entry.arrival, self._cmd_free, self._now)
+            key = (ready, 0 if cmd == "col" else 1, entry.seq)
             if best is None or key < best[0]:
                 best = (key, entry, cmd, ready)
         _, entry, cmd, when = best
         self._issue(entry, cmd, when, queue)
 
-    def _next_command(self, req: Request) -> tuple[str, int]:
+    def _run_indexed(self) -> ControllerStats:
+        """Drain every request with the indexed scheduler, fully fused.
+
+        Policy-identical to the scan loop (the parity tests prove it), but
+        restructured for throughput:
+
+        * at most two candidates per active bank — within a bank every
+          row-hit entry shares one earliest-issue cycle and every non-hit
+          entry shares another (readiness depends only on bank/rank/bus
+          state; an admitted entry's arrival is already in the past), so the
+          oldest entry of each class dominates its peers under the
+          (ready, column-first, age) FR-FCFS key;
+        * rank- and bus-level timing terms are memoized per step;
+        * admission, refresh, queue arbitration, candidate selection, and
+          command issue are inlined into one loop with the mutable state
+          (clock, bus, stats counters) held in locals and written back once
+          at the end — the per-step cost is O(active banks) plus a cheap
+          O(queue) age scan, with no attribute traffic.
+        """
+        t = self.timing
+        stats = self.stats
+        window = self.window
+        write_high = self.write_high
+        write_low = self.write_low
+        closed_policy = self.row_policy == "closed"
+        ranks = self.ranks
+        flat_bank = self._flat_bank
+        flat_rank = self._flat_rank
+        flat_bgflat = self._flat_bgflat
+        bpg = self.organization.banks_per_group
+        bg_count = self.organization.bankgroups
+        read_backlog = self._read_backlog
+        write_backlog = self._write_backlog
+        read_q = self._read_q
+        write_q = self._write_q
+        read_banks = self._read_banks
+        write_banks = self._write_banks
+        t_cl = self._t_cl
+        t_cwl = self._t_cwl
+        t_burst = self._t_burst
+        rtrs = self._t_rtrs
+        t_rtp = self._t_rtp
+        t_w2p = self._t_w2p
+        big = 1 << 62
+        n_ranks = len(ranks)
+        # Per-step base readiness by flat bankgroup id, filled eagerly each
+        # step (the bankgroup count is small, and every bank in a group
+        # shares its rank/bus terms, so per-bank work shrinks to one max).
+        act_base = [0] * (n_ranks * bg_count)
+        col_base = [0] * (n_ranks * bg_count)
+
+        now = self._now
+        cmd_free = self._cmd_free
+        bus_free = self._bus_free
+        bus_rank = self._bus_rank
+        draining = self._draining_writes
+        n_reads = stats.reads
+        n_writes = stats.writes
+        n_hits = stats.row_hits
+        n_misses = stats.row_misses
+        n_conflicts = stats.row_conflicts
+        n_acts = stats.activates
+        n_pres = stats.precharges
+        n_refs = stats.refreshes
+        bus_cycles = stats.data_bus_cycles
+        finish = stats.finish_cycle
+        latency_sum = stats.read_latency_sum
+
+        pending = (
+            len(read_backlog) + len(write_backlog) + len(read_q) + len(write_q)
+        )
+        while pending:
+            # -- admission --------------------------------------------------
+            while len(read_q) < window and read_backlog and read_backlog[0].arrival <= now:
+                entry = read_backlog.popleft()
+                entry.qpos = len(read_q)
+                read_q.append(entry)
+                flat = (entry.rank * bg_count + entry.bankgroup) * bpg + entry.bank
+                entry.flat = flat
+                blq = read_banks.get(flat)
+                if blq is None:
+                    read_banks[flat] = blq = _BankQueue(
+                        flat_bank[flat], flat_bgflat[flat], flat
+                    )
+                entries = blq.entries
+                entry.bpos = len(entries)
+                entries.append(entry)
+                if blq.valid:
+                    s = entry.seq
+                    if s < blq.min_all_seq:
+                        blq.min_all = entry
+                        blq.min_all_seq = s
+                    if entry.row == blq.bank.open_row:
+                        if s < blq.hit_seq:
+                            blq.hit = entry
+                            blq.hit_seq = s
+                    elif s < blq.miss_seq:
+                        blq.miss = entry
+                        blq.miss_seq = s
+            while (
+                len(write_q) < write_high
+                and write_backlog
+                and write_backlog[0].arrival <= now
+            ):
+                entry = write_backlog.popleft()
+                entry.qpos = len(write_q)
+                write_q.append(entry)
+                flat = (entry.rank * bg_count + entry.bankgroup) * bpg + entry.bank
+                entry.flat = flat
+                blq = write_banks.get(flat)
+                if blq is None:
+                    write_banks[flat] = blq = _BankQueue(
+                        flat_bank[flat], flat_bgflat[flat], flat
+                    )
+                entries = blq.entries
+                entry.bpos = len(entries)
+                entries.append(entry)
+                if blq.valid:
+                    s = entry.seq
+                    if s < blq.min_all_seq:
+                        blq.min_all = entry
+                        blq.min_all_seq = s
+                    if entry.row == blq.bank.open_row:
+                        if s < blq.hit_seq:
+                            blq.hit = entry
+                            blq.hit_seq = s
+                    elif s < blq.miss_seq:
+                        blq.miss = entry
+                        blq.miss_seq = s
+            if not read_q and not write_q:
+                # Nothing admitted: jump to the next arrival.
+                arrival = big
+                if read_backlog:
+                    arrival = read_backlog[0].arrival
+                if write_backlog and write_backlog[0].arrival < arrival:
+                    arrival = write_backlog[0].arrival
+                if arrival > now:
+                    now = arrival
+                continue
+            # -- refresh ----------------------------------------------------
+            for rank in ranks:
+                if now >= rank.next_refresh:
+                    rank.refresh(now)
+                    n_refs += 1
+                    # All the rank's rows closed: cached hit/miss splits are
+                    # stale (refresh is rare, so blanket invalidation is fine).
+                    for blq in read_banks.values():
+                        blq.valid = False
+                    for blq in write_banks.values():
+                        blq.valid = False
+            # -- queue arbitration (write-drain watermarks) -----------------
+            if draining:
+                if len(write_q) <= write_low and read_q:
+                    draining = False
+            elif not read_q or len(write_q) >= write_high:
+                draining = bool(write_q or write_backlog)
+            if draining and write_q:
+                queue = write_q
+                is_write_q = True
+            elif read_q:
+                queue = read_q
+                is_write_q = False
+            else:
+                queue = write_q
+                is_write_q = True
+            banks_map = write_banks if is_write_q else read_banks
+            floor = cmd_free if cmd_free > now else now
+            data_offset = t_cwl if is_write_q else t_cl
+            # Eagerly compute the shared (rank, bankgroup)-level readiness
+            # floors: every bank in a group shares them, so the per-bank
+            # candidate evaluation below reduces to a single extra max.
+            for r in range(n_ranks):
+                rank = ranks[r]
+                bus_part = bus_free + (rtrs if (bus_rank >= 0 and bus_rank != r) else 0)
+                bus_part -= data_offset
+                if bus_part < floor:
+                    bus_part = floor
+                cts = rank.earliest_writes() if is_write_q else rank.earliest_reads()
+                ats = rank.earliest_acts()
+                base = r * bg_count
+                for bg in range(bg_count):
+                    ct = cts[bg]
+                    col_base[base + bg] = ct if ct > bus_part else bus_part
+                    at = ats[bg]
+                    act_base[base + bg] = at if at > floor else floor
+            # Best candidate so far, compared field-wise on (ready, pref,
+            # seq): column commands (pref 0) beat row commands (pref 1) at
+            # equal ready.  Once the best is a column command that is ready
+            # at the floor cycle, no ACT/PRE and no younger row hit can beat
+            # it (every candidate's ready is clamped at the floor), so the
+            # remaining banks only need a cheaper older-hit check.
+            best_ready = big
+            best_pref = 2
+            best_seq = big
+            best_entry = None
+            best_cmd = None
+            floor_col = False
+            for blq in banks_map.values():
+                entries = blq.entries
+                if not entries:
+                    continue
+                bank = blq.bank
+                open_row = bank.open_row
+                if open_row < 0 and floor_col:
+                    continue
+                if not blq.valid:
+                    # Rescan after an invalidation (bank state or entry set
+                    # changed); otherwise the cached minima are current.
+                    e0 = entries[0]
+                    min_all = e0
+                    min_seq = e0.seq
+                    hit = None
+                    hit_seq = big
+                    miss = None
+                    miss_seq = big
+                    for x in entries:
+                        s = x.seq
+                        if s < min_seq:
+                            min_all = x
+                            min_seq = s
+                        if x.row == open_row:
+                            if s < hit_seq:
+                                hit = x
+                                hit_seq = s
+                        elif s < miss_seq:
+                            miss = x
+                            miss_seq = s
+                    blq.min_all = min_all
+                    blq.min_all_seq = min_seq
+                    blq.hit = hit
+                    blq.hit_seq = hit_seq
+                    blq.miss = miss
+                    blq.miss_seq = miss_seq
+                    blq.valid = True
+                if open_row < 0:
+                    # Bank precharged: the oldest entry wants an ACT.
+                    seq = blq.min_all_seq
+                    term = act_base[blq.bgflat]
+                    ready = bank.earliest_act
+                    if term > ready:
+                        ready = term
+                    if ready < best_ready or (
+                        ready == best_ready
+                        and (1 < best_pref or (best_pref == 1 and seq < best_seq))
+                    ):
+                        best_ready, best_pref, best_seq = ready, 1, seq
+                        best_entry, best_cmd = blq.min_all, "act"
+                    continue
+                hit = blq.hit
+                if hit is not None and (not floor_col or blq.hit_seq < best_seq):
+                    hit_seq = blq.hit_seq
+                    term = col_base[blq.bgflat]
+                    ready = bank.earliest_col
+                    if term > ready:
+                        ready = term
+                    if ready < best_ready or (
+                        ready == best_ready
+                        and (0 < best_pref or (best_pref == 0 and hit_seq < best_seq))
+                    ):
+                        best_ready, best_pref, best_seq = ready, 0, hit_seq
+                        best_entry, best_cmd = hit, "col"
+                        floor_col = ready == floor
+                miss = blq.miss
+                if miss is not None and not floor_col:
+                    miss_seq = blq.miss_seq
+                    ready = bank.earliest_pre
+                    if floor > ready:
+                        ready = floor
+                    if ready < best_ready or (
+                        ready == best_ready
+                        and (1 < best_pref or (best_pref == 1 and miss_seq < best_seq))
+                    ):
+                        best_ready, best_pref, best_seq = ready, 1, miss_seq
+                        best_entry, best_cmd = miss, "pre"
+            # -- issue ------------------------------------------------------
+            entry = best_entry
+            when = best_ready
+            flat = entry.flat
+            bank = flat_bank[flat]
+            rank = flat_rank[flat]
+            bg = entry.bankgroup
+            if when > now:
+                now = when
+            cmd_free = when + 1
+            if best_cmd == "act":
+                bank.activate(entry.row, when, t)
+                rank.record_act(bg, when)
+                n_acts += 1
+                entry.needed_act = True
+                # The open row changed: both directions' hit/miss caches for
+                # this bank are stale.
+                blq = read_banks.get(flat)
+                if blq is not None:
+                    blq.valid = False
+                blq = write_banks.get(flat)
+                if blq is not None:
+                    blq.valid = False
+                continue
+            if best_cmd == "pre":
+                bank.precharge(when, t)
+                n_pres += 1
+                entry.needed_pre = True
+                blq = read_banks.get(flat)
+                if blq is not None:
+                    blq.valid = False
+                blq = write_banks.get(flat)
+                if blq is not None:
+                    blq.valid = False
+                continue
+            # Column command: the request completes after its data burst.
+            burst_end = when + data_offset + t_burst
+            bus_free = burst_end
+            bus_rank = entry.rank
+            bus_cycles += t_burst
+            if entry.request is not None:
+                entry.request.completion = burst_end
+            if burst_end > finish:
+                finish = burst_end
+            if is_write_q:
+                ep = when + t_w2p  # WR gates the next PRE on this bank
+                if ep > bank.earliest_pre:
+                    bank.earliest_pre = ep
+                rank._last_wr_by_group[bg] = when
+                rank._last_wr = when
+                n_writes += 1
+            else:
+                ep = when + t_rtp  # RD gates the next PRE on this bank
+                if ep > bank.earliest_pre:
+                    bank.earliest_pre = ep
+                rank._last_rd_by_group[bg] = when
+                rank._last_rd = when
+                n_reads += 1
+                latency_sum += burst_end - entry.arrival
+            if entry.needed_pre:
+                n_conflicts += 1
+            elif entry.needed_act:
+                n_misses += 1
+            else:
+                n_hits += 1
+            # Swap-pop the completed entry out of the queue and bank list.
+            i = entry.qpos
+            last = queue[-1]
+            queue[i] = last
+            last.qpos = i
+            queue.pop()
+            blq = banks_map[flat]
+            blist = blq.entries
+            i = entry.bpos
+            last = blist[-1]
+            blist[i] = last
+            last.bpos = i
+            blist.pop()
+            blq.valid = False  # the removed entry may have been a cached min
+            pending -= 1
+            if closed_policy:
+                # Auto-precharge: the bank closes as soon as tRTP/tWR allows.
+                bank.precharge(bank.earliest_pre, t)
+                n_pres += 1
+                other = read_banks if is_write_q else write_banks
+                blq = other.get(flat)
+                if blq is not None:
+                    blq.valid = False
+
+        # -- write back ----------------------------------------------------
+        self._now = now
+        self._cmd_free = cmd_free
+        self._bus_free = bus_free
+        self._bus_rank = bus_rank
+        self._draining_writes = draining
+        stats.reads = n_reads
+        stats.writes = n_writes
+        stats.row_hits = n_hits
+        stats.row_misses = n_misses
+        stats.row_conflicts = n_conflicts
+        stats.activates = n_acts
+        stats.precharges = n_pres
+        stats.refreshes = n_refs
+        stats.data_bus_cycles = bus_cycles
+        stats.read_latency_sum = latency_sum
+        stats.finish_cycle = finish if finish > now else now
+        return stats
+
+    def _next_command(self, req: _Entry) -> tuple[str, int]:
         """Return the next command for ``req`` and its earliest issue cycle."""
         rank = self.ranks[req.rank]
         bank = rank.bank(req.bankgroup, req.bank)
@@ -227,7 +821,7 @@ class MemoryController:
             return "act", max(bank.earliest_act, rank.earliest_act(req.bankgroup))
         return "pre", bank.earliest_pre
 
-    def _column_earliest(self, req: Request, rank: Rank, bank) -> int:
+    def _column_earliest(self, req: _Entry, rank: Rank, bank) -> int:
         t = self.timing
         if req.is_write:
             when = max(bank.earliest_col, rank.earliest_write(req.bankgroup))
@@ -240,16 +834,24 @@ class MemoryController:
             bus_ready += t.rtrs
         return max(when, bus_ready - data_offset)
 
-    def _issue(self, entry: _Entry, cmd: str, when: int, queue: list[_Entry]) -> None:
+    def _remove(self, entry: _Entry, queue: list) -> None:
+        """Drop a completed entry from the working queue (scan scheduler).
+
+        ``list.remove`` preserves FIFO order, which the scan scheduler's
+        window slice depends on; the indexed runner swap-pops instead.
+        """
+        queue.remove(entry)
+
+    def _issue(self, entry: _Entry, cmd: str, when: int, queue: list) -> None:
         t = self.timing
-        req = entry.request
-        rank = self.ranks[req.rank]
-        bank = rank.bank(req.bankgroup, req.bank)
-        self._now = max(self._now, when)
+        rank = self.ranks[entry.rank]
+        bank = rank.bank(entry.bankgroup, entry.bank)
+        if when > self._now:
+            self._now = when
         self._cmd_free = when + 1
         if cmd == "act":
-            bank.activate(req.row, when, t)
-            rank.record_act(req.bankgroup, when)
+            bank.activate(entry.row, when, t)
+            rank.record_act(entry.bankgroup, when)
             self.stats.activates += 1
             entry.needed_act = True
             return
@@ -259,29 +861,31 @@ class MemoryController:
             entry.needed_pre = True
             return
         # Column command: the request completes after its data burst.
-        data_offset = t.cwl if req.is_write else t.cl
-        burst_end = when + data_offset + t.burst_cycles
+        data_offset = self._t_cwl if entry.is_write else self._t_cl
+        burst_end = when + data_offset + self._t_burst
         self._bus_free = burst_end
-        self._bus_rank = req.rank
-        self.stats.data_bus_cycles += t.burst_cycles
-        req.completion = burst_end
-        self.stats.finish_cycle = max(self.stats.finish_cycle, burst_end)
-        if req.is_write:
+        self._bus_rank = entry.rank
+        self.stats.data_bus_cycles += self._t_burst
+        if entry.request is not None:
+            entry.request.completion = burst_end
+        if burst_end > self.stats.finish_cycle:
+            self.stats.finish_cycle = burst_end
+        if entry.is_write:
             bank.write(when, t)
-            rank.record_write(req.bankgroup, when)
+            rank.record_write(entry.bankgroup, when)
             self.stats.writes += 1
         else:
             bank.read(when, t)
-            rank.record_read(req.bankgroup, when)
+            rank.record_read(entry.bankgroup, when)
             self.stats.reads += 1
-            self.stats.read_latency_sum += req.latency
+            self.stats.read_latency_sum += burst_end - entry.arrival
         if entry.needed_pre:
             self.stats.row_conflicts += 1
         elif entry.needed_act:
             self.stats.row_misses += 1
         else:
             self.stats.row_hits += 1
-        queue.remove(entry)
+        self._remove(entry, queue)
         if self.row_policy == "closed":
             # Auto-precharge: the bank closes as soon as tRTP/tWR allows.
             bank.precharge(bank.earliest_pre, t)

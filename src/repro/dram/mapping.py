@@ -19,6 +19,9 @@ parallelism for streaming accesses.
 """
 
 from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -84,11 +87,18 @@ class AddressMapping:
     order: tuple = BANK_INTERLEAVED_ORDER
     column_lo_bits: int = 0
 
-    def _field_bits(self, name: str) -> int:
+    @cached_property
+    def _layout(self) -> dict:
+        """Field widths, precomputed once per mapping.
+
+        (``cached_property`` stores into ``__dict__`` directly, so it works
+        on a frozen dataclass; the mapping is immutable so the cache never
+        goes stale.)
+        """
         org = self.organization
         col_bits = _bits(org.columns)
         lo = min(self.column_lo_bits, col_bits)
-        sizes = {
+        return {
             "column_lo": lo,
             "column_hi": col_bits - lo,
             "bank": _bits(org.banks_per_group),
@@ -96,23 +106,51 @@ class AddressMapping:
             "rank": _bits(org.ranks),
             "row": _bits(org.rows),
         }
-        return sizes[name]
+
+    def _field_bits(self, name: str) -> int:
+        return self._layout[name]
 
     def decode(self, addr: int) -> dict:
         """Decode a byte address into rank/bankgroup/bank/row/column."""
+        sizes = self._layout
         block = addr // self.organization.access_bytes
         values = {}
         for name in self.order:
-            bits = self._field_bits(name)
+            bits = sizes[name]
             values[name] = block & ((1 << bits) - 1)
             block >>= bits
-        lo_bits = self._field_bits("column_lo")
+        lo_bits = sizes["column_lo"]
         return {
             "rank": values.get("rank", 0),
             "bankgroup": values.get("bankgroup", 0),
             "bank": values.get("bank", 0),
-            "row": values.get("row", 0) + (block << self._field_bits("row")),
+            "row": values.get("row", 0) + (block << sizes["row"]),
             "column": values.get("column_lo", 0) | (values.get("column_hi", 0) << lo_bits),
+        }
+
+    def decode_batch(self, addrs: np.ndarray) -> dict:
+        """Vectorized :meth:`decode` over an int64 address array.
+
+        Returns a dict of parallel int64 arrays keyed ``rank`` /
+        ``bankgroup`` / ``bank`` / ``row`` / ``column``, bit-identical to
+        calling :meth:`decode` element-wise.
+        """
+        sizes = self._layout
+        block = np.asarray(addrs, dtype=np.int64) // self.organization.access_bytes
+        values = {}
+        for name in self.order:
+            bits = sizes[name]
+            values[name] = block & ((1 << bits) - 1)
+            block = block >> bits
+        lo_bits = sizes["column_lo"]
+        zero = np.zeros_like(block)  # default for fields absent from the order
+        return {
+            "rank": values.get("rank", zero),
+            "bankgroup": values.get("bankgroup", zero),
+            "bank": values.get("bank", zero),
+            "row": values.get("row", zero) + (block << sizes["row"]),
+            "column": values.get("column_lo", zero)
+            | (values.get("column_hi", zero) << lo_bits),
         }
 
     def encode(self, rank: int, bankgroup: int, bank: int, row: int, column: int) -> int:

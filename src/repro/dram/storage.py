@@ -22,6 +22,10 @@ class WordStorage:
             raise ValueError("capacity must be positive")
         self.capacity_words = capacity_words
         self._data = np.zeros((capacity_words, ELEMS_PER_WORD), dtype=np.float32)
+        #: Monotonic write counter: bumped on every mutation so read caches
+        #: (e.g. the NMP core's per-instruction index-buffer cache) can tell
+        #: whether their snapshot is still current.
+        self.version = 0
 
     @property
     def capacity_bytes(self) -> int:
@@ -44,6 +48,7 @@ class WordStorage:
     def write_word(self, word: int, values: np.ndarray) -> None:
         """Write one 64 B word."""
         self._check(word)
+        self.version += 1
         self._data[word] = np.asarray(values, dtype=np.float32).reshape(ELEMS_PER_WORD)
 
     def read_words(self, words: np.ndarray) -> np.ndarray:
@@ -53,10 +58,21 @@ class WordStorage:
             raise IndexError("word index out of range")
         return self._data[words]
 
+    def read_range(self, start: int, count: int) -> np.ndarray:
+        """Read ``count`` consecutive words starting at ``start``.
+
+        Equivalent to ``read_words(start + np.arange(count))`` but without
+        materialising an index array or paying numpy's fancy-indexing
+        gather — contiguous reads are a plain slice copy.
+        """
+        self._check(start, count)
+        return self._data[start : start + count].copy()
+
     def write_words(self, start: int, values: np.ndarray) -> None:
         """Write consecutive words starting at ``start``."""
         values = np.asarray(values, dtype=np.float32).reshape(-1, ELEMS_PER_WORD)
         self._check(start, len(values))
+        self.version += 1
         self._data[start : start + len(values)] = values
 
     def write_scattered(self, words: np.ndarray, values: np.ndarray) -> None:
@@ -65,6 +81,7 @@ class WordStorage:
         values = np.asarray(values, dtype=np.float32).reshape(-1, ELEMS_PER_WORD)
         if words.size and (words.min() < 0 or words.max() >= self.capacity_words):
             raise IndexError("word index out of range")
+        self.version += 1
         self._data[words] = values
 
     # -- int32 views (index buffers) ------------------------------------------
@@ -79,6 +96,7 @@ class WordStorage:
         indices = np.asarray(indices, dtype=np.int32).reshape(-1)
         words = -(-len(indices) // ELEMS_PER_WORD)
         self._check(word, words)
+        self.version += 1
         padded = np.zeros(words * ELEMS_PER_WORD, dtype=np.int32)
         padded[: len(indices)] = indices
         self._data[word : word + words] = padded.view(np.float32).reshape(

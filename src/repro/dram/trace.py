@@ -12,7 +12,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from .command import TraceRequest
+from .command import TraceBuffer, TraceRequest
 
 WORD_BYTES = 64
 
@@ -78,6 +78,68 @@ def average_trace(
         yield TraceRequest(0, output_base + i * WORD_BYTES, True)
 
 
+# -- columnar builders --------------------------------------------------------
+#
+# The generator forms above remain for incremental consumers; these build the
+# same streams as :class:`TraceBuffer` columns in a handful of whole-array
+# operations, which is what the batched controller paths want.
+
+
+def streaming_buffer(
+    base_addr: int, num_words: int, is_write: bool = False, start_cycle: int = 0
+) -> TraceBuffer:
+    """Columnar :func:`streaming_trace`."""
+    addrs = base_addr + np.arange(num_words, dtype=np.int64) * WORD_BYTES
+    return TraceBuffer(addrs, bool(is_write), start_cycle)
+
+
+def strided_buffer(
+    base_addr: int, num_words: int, stride_words: int, is_write: bool = False
+) -> TraceBuffer:
+    """Columnar :func:`strided_trace`."""
+    addrs = base_addr + np.arange(num_words, dtype=np.int64) * stride_words * WORD_BYTES
+    return TraceBuffer(addrs, bool(is_write))
+
+
+def gather_buffer(
+    table_base: int,
+    row_words: int,
+    rows: np.ndarray,
+    output_base: int,
+) -> TraceBuffer:
+    """Columnar :func:`gather_trace` (same record order)."""
+    rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+    offsets = np.arange(row_words, dtype=np.int64) * WORD_BYTES
+    src = (table_base + rows * row_words * WORD_BYTES)[:, None] + offsets
+    dst = (output_base + np.arange(len(rows), dtype=np.int64)[:, None] * row_words * WORD_BYTES) + offsets
+    addrs = np.concatenate([src, dst], axis=1).reshape(-1)
+    is_write = np.tile(np.repeat([False, True], row_words), len(rows))
+    return TraceBuffer(addrs, is_write)
+
+
+def reduce_buffer(
+    input1_base: int, input2_base: int, output_base: int, num_words: int
+) -> TraceBuffer:
+    """Columnar :func:`reduce_trace` (same record order)."""
+    offsets = np.arange(num_words, dtype=np.int64)[:, None] * WORD_BYTES
+    bases = np.array([input1_base, input2_base, output_base], dtype=np.int64)
+    addrs = (bases + offsets).reshape(-1)
+    is_write = np.tile(np.array([False, False, True]), num_words)
+    return TraceBuffer(addrs, is_write)
+
+
+def average_buffer(
+    input_base: int, average_num: int, output_base: int, num_outputs: int
+) -> TraceBuffer:
+    """Columnar :func:`average_trace` (same record order)."""
+    i = np.arange(num_outputs, dtype=np.int64)
+    reads = input_base + ((i * average_num)[:, None] + np.arange(average_num, dtype=np.int64)) * WORD_BYTES
+    writes = (output_base + i * WORD_BYTES)[:, None]
+    addrs = np.concatenate([reads, writes], axis=1).reshape(-1)
+    is_write = np.tile(np.append(np.zeros(average_num, dtype=bool), True), num_outputs)
+    return TraceBuffer(addrs, is_write)
+
+
 @dataclass
 class TraceStats:
     """Summary of a trace (used by tests and the bench harness)."""
@@ -95,6 +157,8 @@ class TraceStats:
 
 
 def summarize(trace: Iterable[TraceRequest]) -> TraceStats:
+    if isinstance(trace, TraceBuffer):
+        return TraceStats(reads=trace.reads, writes=trace.writes)
     reads = writes = 0
     for record in trace:
         if record.is_write:

@@ -1,0 +1,295 @@
+"""Golden parity tests for the vectorized trace engine and scheduler.
+
+The perf overhaul (columnar ``TraceBuffer`` traces, ``decode_batch`` +
+``enqueue_batch`` fast paths, the indexed FR-FCFS scheduler, and controller
+reuse via ``reset()``) must be *bit-identical* to the original scalar paths:
+every :class:`ControllerStats` field — reads, writes, row hits/misses/
+conflicts, activates, precharges, refreshes, data-bus cycles, finish cycle,
+read-latency sum — has to match, command for command.  These tests pin that
+equivalence on seeded traces of all four TensorISA opcodes and on synthetic
+traffic patterns that stress every scheduler branch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.isa import average, gather, reduce, update
+from repro.core.nmp_core import NmpCore
+from repro.core.tensordimm import TensorDimm
+from repro.dram.command import Request, TraceBuffer, TraceRequest
+from repro.dram.controller import MemoryController
+from repro.dram.mapping import (
+    BANK_INTERLEAVED_ORDER,
+    RANK_INTERLEAVED_ORDER,
+    ROW_INTERLEAVED_ORDER,
+    AddressMapping,
+    DramOrganization,
+)
+from repro.dram.storage import WordStorage
+from repro.dram.system import DramSystem
+from repro.dram.timing import DDR4_3200
+from repro.dram.trace import (
+    average_buffer,
+    average_trace,
+    gather_buffer,
+    gather_trace,
+    reduce_buffer,
+    reduce_trace,
+    streaming_buffer,
+    streaming_trace,
+    strided_buffer,
+    strided_trace,
+)
+
+
+def seeded_core(seed=7, node_dim=2, capacity=1 << 16):
+    """An NMP core with a seeded index buffer at local word 30000."""
+    rng = np.random.default_rng(seed)
+    core = NmpCore(0, node_dim, WordStorage(capacity))
+    idx = rng.integers(0, 256, size=100).astype(np.int32)
+    core.storage.write_indices(30000, idx)
+    return core
+
+
+OPCODE_CASES = {
+    "gather": gather(0, 30000, 2 * 4000, 100, words_per_slice=3),
+    "reduce": reduce(0, 2 * 1000, 2 * 2000, 300),
+    "average": average(0, 5, 2 * 3000, 60, words_per_slice=3),
+    "update": update(2 * 1000, 30000, 0, 100, words_per_slice=2),
+}
+
+
+def run_scalar_scan(trace, **kw):
+    """Reference path: per-record enqueue + the original scan scheduler."""
+    mc = MemoryController(DDR4_3200, scheduler="scan", **kw)
+    for record in trace:
+        mc.enqueue(Request(addr=record.addr, is_write=record.is_write, arrival=record.cycle))
+    return mc.run_to_completion()
+
+
+def run_batch_indexed(trace, **kw):
+    """Fast path: one columnar enqueue + the indexed scheduler."""
+    mc = MemoryController(DDR4_3200, scheduler="indexed", **kw)
+    mc.enqueue_batch(trace if isinstance(trace, TraceBuffer) else TraceBuffer.from_records(trace))
+    return mc.run_to_completion()
+
+
+class TestOpcodeTraceParity:
+    """Scalar enqueue + scan scheduler vs batch enqueue + indexed scheduler."""
+
+    @pytest.mark.parametrize("name", list(OPCODE_CASES))
+    def test_controller_stats_bit_identical(self, name):
+        core = seeded_core()
+        trace = core.trace(OPCODE_CASES[name])
+        golden = run_scalar_scan(trace)
+        fast = run_batch_indexed(trace)
+        assert fast == golden  # dataclass equality covers every counter
+
+    @pytest.mark.parametrize("name", list(OPCODE_CASES))
+    def test_parity_with_refresh_disabled(self, name):
+        core = seeded_core(seed=11)
+        trace = core.trace(OPCODE_CASES[name])
+        golden = run_scalar_scan(trace, refresh_enabled=False)
+        fast = run_batch_indexed(trace, refresh_enabled=False)
+        assert fast == golden
+
+    @pytest.mark.parametrize("name", ["gather", "update"])
+    def test_parity_closed_page(self, name):
+        core = seeded_core(seed=13)
+        trace = core.trace(OPCODE_CASES[name])
+        golden = run_scalar_scan(trace, row_policy="closed")
+        fast = run_batch_indexed(trace, row_policy="closed")
+        assert fast == golden
+
+    @pytest.mark.parametrize("order", [BANK_INTERLEAVED_ORDER, ROW_INTERLEAVED_ORDER])
+    def test_parity_across_mappings(self, order):
+        core = seeded_core(seed=17)
+        trace = core.trace(OPCODE_CASES["gather"])
+        org = DramOrganization()
+        mapping = AddressMapping(org, order=order)
+        golden = run_scalar_scan(trace, organization=org, mapping=mapping)
+        fast = run_batch_indexed(trace, organization=org, mapping=mapping)
+        assert fast == golden
+
+
+class TestWindowParity:
+    """The scan reference only schedules from the first ``window`` entries
+    of a queue.  Reads can never outgrow the window (admission caps them),
+    but writes are admitted up to ``write_high``; when that exceeds the
+    window the slice is observable, and the indexed controller must match
+    the reference there too (it falls back to the scan path)."""
+
+    def build_records(self, seed=43, n=600):
+        rng = np.random.default_rng(seed)
+        addrs = (rng.integers(0, 1 << 20, size=n) * 64).tolist()
+        return [TraceRequest(0, a, bool(i % 2)) for i, a in enumerate(addrs)]
+
+    @pytest.mark.parametrize("window", [1, 8, 16])
+    def test_small_window_matches_scan(self, window):
+        records = self.build_records()
+        golden = run_scalar_scan(records, window=window)
+        fast = run_batch_indexed(records, window=window)
+        assert fast == golden
+
+    def test_window_below_write_high(self):
+        records = self.build_records(seed=47)
+        kw = {"window": 8, "write_high_watermark": 32, "write_low_watermark": 4}
+        assert run_batch_indexed(records, **kw) == run_scalar_scan(records, **kw)
+
+
+class TestSyntheticTrafficParity:
+    """Patterns that force ACT/PRE churn, write drains, and arrivals."""
+
+    def test_streaming_mixed_reads_writes(self):
+        records = [
+            TraceRequest(0, (i // 3) * 64, i % 4 == 0) for i in range(1200)
+        ]
+        assert run_batch_indexed(records) == run_scalar_scan(records)
+
+    def test_random_rows_multi_rank(self):
+        rng = np.random.default_rng(23)
+        org = DramOrganization(ranks=4)
+        addrs = (rng.integers(0, org.capacity_bytes // 64, size=800) * 64).tolist()
+        records = [TraceRequest(0, a, bool(i % 5 == 0)) for i, a in enumerate(addrs)]
+        mapping = AddressMapping(org, order=RANK_INTERLEAVED_ORDER)
+        golden = run_scalar_scan(records, organization=org, mapping=mapping)
+        fast = run_batch_indexed(records, organization=org, mapping=mapping)
+        assert fast == golden
+
+    def test_paced_arrivals(self):
+        records = [TraceRequest(i * 37, (i % 64) * 64, i % 3 == 0) for i in range(500)]
+        assert run_batch_indexed(records) == run_scalar_scan(records)
+
+    def test_single_bank_row_conflicts(self):
+        org = DramOrganization()
+        row_stride = org.banks * org.columns * 64
+        records = [TraceRequest(0, (i % 7) * row_stride, False) for i in range(300)]
+        assert run_batch_indexed(records) == run_scalar_scan(records)
+
+
+class TestDramSystemParity:
+    def test_columnar_enqueue_trace_matches_scalar(self):
+        def build(records):
+            return records
+
+        records = list(streaming_trace(0, 4000)) + list(
+            reduce_trace(1 << 20, 1 << 21, 1 << 22, 500)
+        )
+        scalar = DramSystem(channels=4)
+        scalar.enqueue_trace(iter(records))
+        golden = scalar.run()
+        fast = DramSystem(channels=4)
+        fast.enqueue_trace(TraceBuffer.from_records(records))
+        result = fast.run()
+        assert result.channel_stats == golden.channel_stats
+        assert result.total_bytes == golden.total_bytes
+        assert result.elapsed_seconds == golden.elapsed_seconds
+
+
+class TestControllerReset:
+    def test_reset_reproduces_fresh_controller(self):
+        core = seeded_core(seed=29)
+        trace = core.trace(OPCODE_CASES["gather"])
+        fresh = run_batch_indexed(trace)
+        mc = MemoryController(DDR4_3200)
+        for _ in range(2):
+            mc.reset()
+            mc.enqueue_batch(trace)
+            assert mc.run_to_completion() == fresh
+
+    def test_timed_execute_reuse_is_deterministic(self):
+        dimm = TensorDimm(0, 2, capacity_words=1 << 14)
+        instr = reduce(0, 2 * 2048, 2 * 4096, 500)
+        first = dimm.execute_timed(instr)
+        second = dimm.execute_timed(instr)
+        assert first.dram_stats == second.dram_stats
+        assert first.seconds == second.seconds
+
+    def test_degenerate_watermarks_rejected(self):
+        # low == high livelocks the drain policy (ACT/PRE ping-pong).
+        with pytest.raises(ValueError):
+            MemoryController(DDR4_3200, write_high_watermark=8, write_low_watermark=8)
+
+
+class TestTraceBuffer:
+    def test_iteration_matches_records(self):
+        buf = TraceBuffer(
+            np.array([0, 64, 128]), np.array([False, True, False]), np.array([0, 5, 9])
+        )
+        records = list(buf)
+        assert [r.addr for r in records] == [0, 64, 128]
+        assert [r.is_write for r in records] == [False, True, False]
+        assert [r.cycle for r in records] == [0, 5, 9]
+        assert len(buf) == 3 and buf.reads == 2 and buf.writes == 1
+
+    def test_round_trip_from_records(self):
+        records = [TraceRequest(i, i * 64, i % 2 == 0) for i in range(10)]
+        buf = TraceBuffer.from_records(records)
+        assert list(buf) == records
+
+    def test_slice_and_concat(self):
+        buf = TraceBuffer(np.arange(6) * 64, np.zeros(6, dtype=bool))
+        joined = TraceBuffer.concat([buf[:3], buf[3:]])
+        assert joined.addr.tolist() == buf.addr.tolist()
+
+
+class TestColumnarBuilders:
+    """Each columnar builder must emit exactly its generator twin's records."""
+
+    @pytest.mark.parametrize(
+        "buffer_fn,trace_fn,args",
+        [
+            (streaming_buffer, streaming_trace, (1 << 12, 50, True, 7)),
+            (strided_buffer, strided_trace, (0, 40, 3, False)),
+            (gather_buffer, gather_trace, (1 << 14, 4, np.array([5, 1, 5, 2]), 1 << 18)),
+            (reduce_buffer, reduce_trace, (0, 1 << 14, 1 << 15, 30)),
+            (average_buffer, average_trace, (0, 5, 1 << 16, 12)),
+        ],
+    )
+    def test_matches_generator(self, buffer_fn, trace_fn, args):
+        assert list(buffer_fn(*args)) == list(trace_fn(*args))
+
+
+class TestDimmBatchExecution:
+    def test_execute_timed_batch_matches_sequential(self):
+        instrs = [reduce(0, 2 * 512, 2 * 1024, 200), reduce(0, 2 * 512, 2 * 2048, 150)]
+        sequential = TensorDimm(0, 2, capacity_words=1 << 13)
+        expected = [sequential.execute_timed(i) for i in instrs]
+        batched = TensorDimm(0, 2, capacity_words=1 << 13)
+        got = batched.execute_timed_batch(instrs)
+        assert [t.dram_stats for t in got] == [t.dram_stats for t in expected]
+        assert [t.seconds for t in got] == [t.seconds for t in expected]
+
+
+class TestDecodeBatch:
+    @pytest.mark.parametrize(
+        "order", [BANK_INTERLEAVED_ORDER, ROW_INTERLEAVED_ORDER, RANK_INTERLEAVED_ORDER]
+    )
+    def test_matches_scalar_decode(self, order):
+        org = DramOrganization(ranks=4)
+        mapping = AddressMapping(org, order=order, column_lo_bits=2)
+        rng = np.random.default_rng(31)
+        addrs = rng.integers(0, org.capacity_bytes // 64, size=500) * 64
+        batch = mapping.decode_batch(addrs)
+        for i, addr in enumerate(addrs.tolist()):
+            scalar = mapping.decode(addr)
+            for field in ("rank", "bankgroup", "bank", "row", "column"):
+                assert int(batch[field][i]) == scalar[field], (field, addr)
+
+
+class TestIndexBufferCache:
+    def test_trace_then_execute_reads_indices_once(self):
+        core = seeded_core(seed=37)
+        instr = OPCODE_CASES["gather"]
+        first = core._read_index_buffer(instr)
+        again = core._read_index_buffer(instr)
+        assert again is first  # cache hit, no second storage read
+
+    def test_cache_invalidated_by_writes(self):
+        core = seeded_core(seed=41)
+        instr = OPCODE_CASES["gather"]
+        before = core._read_index_buffer(instr).copy()
+        core.storage.write_indices(30000, np.zeros(100, dtype=np.int32))
+        after = core._read_index_buffer(instr)
+        assert not np.array_equal(before, after)
+        assert (after == 0).all()
