@@ -4,28 +4,50 @@ This is a *meta*-benchmark: unlike the ``bench_figure*.py`` files, which
 regenerate the paper's results, this one measures how fast the simulator
 itself chews through TensorISA instruction traffic — the number that gates
 every serving-scale experiment on the ROADMAP.  It runs fixed, seeded
-GATHER and REDUCE workloads through ``TensorDimm.execute_timed`` (trace
-generation + functional execution + cycle-level FR-FCFS replay) and writes
-``BENCH_perf.json`` so future PRs can track the throughput trajectory.
+workloads through the cycle-level engine and writes ``BENCH_perf.json``
+so future PRs can track the throughput trajectory.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/bench_perf.py
+    PYTHONPATH=src python benchmarks/bench_perf.py --jobs $(nproc)
 
-Schema of each entry: ``{workload, requests, wall_seconds, req_per_sec}``.
-The pre-PR scalar-engine baseline (measured on the same workloads, same
-machine class, before the vectorized trace engine / event-queue scheduler
-landed) is recorded alongside for the speedup ratio.
+Two families of entries:
+
+* ``gather`` / ``reduce`` — the single-DIMM workloads tracked since the
+  vectorized-engine PR; schema ``{workload, requests, wall_seconds,
+  req_per_sec}`` plus the recorded pre-vectorization ``baseline`` and its
+  ``speedup``.  These must stay comparable across PRs, so their shapes
+  never change.
+* ``node_gather`` / ``node_reduce`` / ``sweep_fig11`` — multi-DIMM
+  broadcasts and a design-point sweep exercising the process-pool engine
+  (:mod:`repro.parallel`).  Each is measured twice — ``--jobs 1``
+  (sequential) and ``--jobs N`` (parallel) — and the merged stats are
+  asserted bit-identical between the two before the entry is written;
+  ``speedup`` is sequential-over-parallel wall time and ``identical``
+  records that the assertion held.  ``host_cpus`` is recorded because the
+  achievable speedup is bounded by the machine (on a 1-CPU container the
+  honest number is ~1x).
+
+``--smoke`` shrinks every workload and skips the JSON write — CI uses it
+to prove the benchmark path stays runnable.
 """
 
+import argparse
 import json
+import os
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.figure11 import sweep_grid
 from repro.core.isa import gather, reduce
 from repro.core.tensordimm import TensorDimm
+from repro.core.tensornode import TensorNode
+from repro.parallel import get_executor, parallel_map, resolve_jobs
 
 #: Measured with the per-record trace engine and O(window) rescan scheduler
 #: immediately before this overhaul (same seeded workloads below).
@@ -61,12 +83,102 @@ def bench_reduce(count=4000):
 WORKLOADS = {"gather": bench_gather, "reduce": bench_reduce}
 
 
-def run() -> dict:
+# -- multi-DIMM / sweep workloads (sequential-vs-parallel) --------------------
+
+def _node_gather_instr(dimms: int, lookups: int, seed: int):
+    """A seeded multi-DIMM GATHER broadcast on a fresh TensorNode."""
+    node = TensorNode(num_dimms=dimms, capacity_words_per_dimm=1 << 18)
+    rng = np.random.default_rng(seed)
+    # 4 words per slice: each DIMM streams 4 local 64 B words per lookup.
+    table = node.alloc_tensor("table", 4096, dimms * 4 * 16)
+    idx = rng.integers(0, 4096, size=lookups).astype(np.int32)
+    alloc = node.alloc_indices("idx", lookups)
+    node.write_indices(alloc, idx)
+    out = node.alloc_tensor("out", lookups, table.embedding_dim)
+    instr = gather(
+        table.base_word, alloc.base_word, out.base_word, lookups,
+        table.words_per_slice,
+    )
+    return node, instr
+
+
+def bench_node_gather(jobs, dimms=8, lookups=1500, seed=11):
+    """Multi-DIMM GATHER: every DIMM's channel cycle-simulated."""
+    node, instr = _node_gather_instr(dimms, lookups, seed)
+    t0 = time.perf_counter()
+    stats = node.broadcast_timed(instr, simulate_dimms=None, jobs=jobs)
+    seconds = time.perf_counter() - t0
+    requests = sum(s.accesses for s in stats.dram_per_dimm)
+    return requests, seconds, stats
+
+
+def bench_node_reduce(jobs, dimms=8, count=3000):
+    """Multi-DIMM binary REDUCE across the whole pool."""
+    node = TensorNode(num_dimms=dimms, capacity_words_per_dimm=1 << 18)
+    instr = reduce(0, dimms * 8192, dimms * 16384, count)
+    t0 = time.perf_counter()
+    stats = node.broadcast_timed(instr, simulate_dimms=None, jobs=jobs)
+    seconds = time.perf_counter() - t0
+    requests = sum(s.accesses for s in stats.dram_per_dimm)
+    return requests, seconds, stats
+
+
+SWEEP_POINTS = [
+    ("TensorNode", 8, op, batch, 256)
+    for op in ("GATHER", "REDUCE", "AVERAGE")
+    for batch in (16, 48)
+]
+
+
+def bench_sweep(jobs, points=None):
+    """A Fig. 11-shaped design-point grid run through the sweep fan-out."""
+    points = points or SWEEP_POINTS
+    t0 = time.perf_counter()
+    grid = sweep_grid(points, jobs=jobs)
+    return len(points), time.perf_counter() - t0, grid
+
+
+def _parallel_entry(name, fn, jobs, **kwargs):
+    """Measure ``fn`` at jobs=1 and jobs=N; assert bit-identical results."""
+    count_seq, seq_seconds, result_seq = fn(1, **kwargs)
+    if jobs > 1:
+        # Warm the pool so worker startup is not billed to the workload
+        # (real sweeps amortize it across the whole run).
+        get_executor(jobs)
+        parallel_map(_noop, [0, 1], jobs=jobs)
+    count_par, par_seconds, result_par = fn(jobs, **kwargs)
+    assert count_par == count_seq, f"{name}: workload drifted across modes"
+    assert result_par == result_seq, (
+        f"{name}: parallel results diverged from sequential — "
+        "determinism contract broken"
+    )
+    unit = count_seq / par_seconds
+    return {
+        "workload": name,
+        "requests": count_seq,
+        "jobs": jobs,
+        "wall_seconds": round(par_seconds, 4),
+        "req_per_sec": round(unit, 1),
+        "sequential": {
+            "wall_seconds": round(seq_seconds, 4),
+            "req_per_sec": round(count_seq / seq_seconds, 1),
+        },
+        "speedup": round(seq_seconds / par_seconds, 2),
+        "identical": True,
+    }
+
+
+def _noop(x):
+    return x
+
+
+def run(jobs: int | None = None, smoke: bool = False) -> dict:
+    jobs = resolve_jobs(jobs)
     entries = []
     for name, fn in WORKLOADS.items():
         fn()  # warmup (allocations, numpy caches)
         best = None
-        for _ in range(REPEATS):
+        for _ in range(1 if smoke else REPEATS):
             requests, seconds = fn()
             if best is None or seconds < best[1]:
                 best = (requests, seconds)
@@ -86,19 +198,53 @@ def run() -> dict:
                 "speedup": round((requests / seconds) / baseline["req_per_sec"], 2),
             }
         )
-    return {"entries": entries}
+    node_kwargs = {"dimms": 4, "lookups": 200} if smoke else {}
+    reduce_kwargs = {"dimms": 4, "count": 400} if smoke else {}
+    sweep_kwargs = {"points": SWEEP_POINTS[:2]} if smoke else {}
+    entries.append(_parallel_entry("node_gather", bench_node_gather, jobs, **node_kwargs))
+    entries.append(_parallel_entry("node_reduce", bench_node_reduce, jobs, **reduce_kwargs))
+    sweep = _parallel_entry("sweep_fig11", bench_sweep, jobs, **sweep_kwargs)
+    # The sweep's unit of work is a grid point, not a DRAM request.
+    sweep["points"] = sweep.pop("requests")
+    sweep["points_per_sec"] = sweep.pop("req_per_sec")
+    entries.append(sweep)
+    return {"entries": entries, "host_cpus": os.cpu_count()}
 
 
-def main() -> None:
-    report = run()
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the parallel entries "
+        "(default: $REPRO_JOBS, else 1; 0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workloads, no JSON write (CI smoke test)",
+    )
+    args = parser.parse_args(argv)
+    report = run(jobs=args.jobs, smoke=args.smoke)
+    for entry in report["entries"]:
+        if "baseline" in entry:
+            print(
+                f"{entry['workload']:>12}: {entry['requests']} requests in "
+                f"{entry['wall_seconds']:.3f}s = {entry['req_per_sec']:,.0f} req/s "
+                f"({entry['speedup']:.2f}x over pre-PR baseline)"
+            )
+        else:
+            unit = "points" if "points" in entry else "requests"
+            count = entry.get("points", entry.get("requests"))
+            print(
+                f"{entry['workload']:>12}: {count} {unit}, sequential "
+                f"{entry['sequential']['wall_seconds']:.3f}s vs jobs={entry['jobs']} "
+                f"{entry['wall_seconds']:.3f}s = {entry['speedup']:.2f}x "
+                f"(bit-identical: {entry['identical']})"
+            )
+    if args.smoke:
+        print("smoke mode: JSON not written")
+        return
     out = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
-    for entry in report["entries"]:
-        print(
-            f"{entry['workload']:>8}: {entry['requests']} requests in "
-            f"{entry['wall_seconds']:.3f}s = {entry['req_per_sec']:,.0f} req/s "
-            f"({entry['speedup']:.2f}x over pre-PR baseline)"
-        )
     print(f"wrote {out}")
 
 

@@ -197,3 +197,34 @@ def queue_sizing(
 ) -> QueueSizing:
     """25.6 GB/s x 20 ns = 512 B per queue (1.5 KB across A/B/C)."""
     return QueueSizing(required_bytes=required_queue_bytes(bandwidth, delay))
+
+
+#: The named studies ``run_all`` executes, in display order.
+STUDIES = {
+    "address_mapping": address_mapping,
+    "scheduler": scheduler,
+    "cpu_cache": cpu_cache,
+    "page_policy": page_policy,
+    "queue_sizing": queue_sizing,
+}
+
+
+def _run_study(task):
+    """Run one named study (process-pool work item; seeds live inside)."""
+    name, kwargs = task
+    return STUDIES[name](**kwargs)
+
+
+def run_all(jobs: int | None = None, overrides: dict | None = None) -> dict:
+    """Run every ablation study, optionally fanned out over the process
+    pool (each study is an independent, internally seeded simulation).
+
+    ``overrides`` maps study name -> keyword arguments (e.g. smaller sizes
+    for a quick CLI run).
+    """
+    from ..parallel import parallel_map
+
+    overrides = overrides or {}
+    tasks = [(name, overrides.get(name, {})) for name in STUDIES]
+    results = parallel_map(_run_study, tasks, jobs=jobs, chunksize=1)
+    return dict(zip(STUDIES, results))

@@ -115,23 +115,50 @@ def _cpu_bandwidth(channels: int, op: str, batch: int, embedding_dim: int) -> fl
     return system.run().bandwidth
 
 
+def _sweep_point(task) -> float:
+    """One (system, op, batch) grid point — a process-pool work item.
+
+    Every point builds its own node/system and seeds its RNG from the
+    batch, so results are identical no matter which worker runs it.
+    """
+    system, width, op, batch, embedding_dim = task
+    if system == "TensorNode":
+        return _node_bandwidth(width, op, batch, embedding_dim)
+    return _cpu_bandwidth(width, op, batch, embedding_dim)
+
+
+def sweep_grid(points, jobs: int | None = None) -> dict:
+    """Cycle-simulate ``(system, width, op, batch, dim)`` points, optionally
+    fanned out ``jobs``-wide over the process pool (Fig. 11/12 share this)."""
+    from ..parallel import parallel_map
+
+    bandwidths = parallel_map(_sweep_point, points, jobs=jobs, chunksize=1)
+    return dict(zip([tuple(p) for p in points], bandwidths))
+
+
 def run(
     batches=BATCHES,
     ops=OPS,
     node_dimms: int = 32,
     cpu_channels: int = 8,
     embedding_dim: int = EMBEDDING_DIM,
+    jobs: int | None = None,
 ) -> Figure11Result:
-    """Sweep batch size for every op on both memory systems."""
-    values = {}
+    """Sweep batch size for every op on both memory systems.
+
+    ``jobs`` (default: ``$REPRO_JOBS``, else 1) runs the design-point grid
+    N-wide; every point is an independent cycle-level simulation.
+    """
+    points = []
     for op in ops:
         for batch in batches:
-            values[("TensorNode", op, batch)] = _node_bandwidth(
-                node_dimms, op, batch, embedding_dim
-            )
-            values[("CPU", op, batch)] = _cpu_bandwidth(
-                cpu_channels, op, batch, embedding_dim
-            )
+            points.append(("TensorNode", node_dimms, op, batch, embedding_dim))
+            points.append(("CPU", cpu_channels, op, batch, embedding_dim))
+    grid = sweep_grid(points, jobs=jobs)
+    values = {
+        (system, op, batch): bw
+        for (system, _, op, batch, _), bw in grid.items()
+    }
     node_peak = node_dimms * 25.6e9
     cpu_peak = cpu_channels * 25.6e9
     return Figure11Result(values=values, node_peak=node_peak, cpu_peak=cpu_peak)

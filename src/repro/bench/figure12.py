@@ -11,7 +11,7 @@ embeddings, 64 hold 2x, 128 hold 4x — matching the figure's caption.
 
 from dataclasses import dataclass
 
-from .figure11 import EMBEDDING_DIM, OPS, _cpu_bandwidth, _node_bandwidth
+from .figure11 import EMBEDDING_DIM, OPS, sweep_grid
 from .harness import Table
 
 #: (DIMM count, embedding scale) pairs of the figure's x-axis groups.
@@ -43,23 +43,31 @@ class Figure12Result:
         return self.values[("CPU", op, dimms[-1])] / self.values[("CPU", op, dimms[0])]
 
 
-def run(sweep=SWEEP, ops=OPS, batch: int = 64, cpu_channels: int = 8) -> Figure12Result:
+def run(
+    sweep=SWEEP,
+    ops=OPS,
+    batch: int = 64,
+    cpu_channels: int = 8,
+    jobs: int | None = None,
+) -> Figure12Result:
     """Measure every op at every pool size on both systems.
 
     The CPU side keeps its 8 channels no matter how many DIMMs are added
     (extra DIMMs only add capacity behind the same channels — Section 4.2),
-    which is exactly why its curve is flat.
+    which is exactly why its curve is flat.  ``jobs`` runs the grid N-wide
+    over the process pool (each point is an independent simulation).
     """
-    values = {}
+    points = []
+    keys = []
     for dimms, scale in sweep:
         embedding_dim = EMBEDDING_DIM * scale
         for op in ops:
-            values[("TensorNode", op, dimms)] = _node_bandwidth(
-                dimms, op, batch, embedding_dim
-            )
-            values[("CPU", op, dimms)] = _cpu_bandwidth(
-                cpu_channels, op, batch, embedding_dim
-            )
+            points.append(("TensorNode", dimms, op, batch, embedding_dim))
+            keys.append(("TensorNode", op, dimms))
+            points.append(("CPU", cpu_channels, op, batch, embedding_dim))
+            keys.append(("CPU", op, dimms))
+    grid = sweep_grid(points, jobs=jobs)
+    values = dict(zip(keys, (grid[tuple(p)] for p in points)))
     return Figure12Result(values=values)
 
 

@@ -50,12 +50,15 @@ class Figure13Result:
 
 
 def run(
-    workloads=ALL_WORKLOADS, batch: int = BATCH, params: SystemParams = DEFAULT_PARAMS
+    workloads=ALL_WORKLOADS,
+    batch: int = BATCH,
+    params: SystemParams = DEFAULT_PARAMS,
+    jobs: int | None = None,
 ) -> Figure13Result:
     """Evaluate all five design points at batch 64."""
     breakdowns = {}
     for config in workloads:
-        for design, result in evaluate_all(config, batch, params).items():
+        for design, result in evaluate_all(config, batch, params, jobs=jobs).items():
             breakdowns[(config.name, design)] = result
     return Figure13Result(breakdowns=breakdowns)
 

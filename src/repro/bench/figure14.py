@@ -8,7 +8,7 @@ CPU-only / CPU-GPU.
 from dataclasses import dataclass
 
 from ..models.model_zoo import ALL_WORKLOADS
-from ..system.design_points import DESIGN_NAMES, evaluate_all
+from ..system.design_points import DESIGN_NAMES, evaluate_grid
 from ..system.params import DEFAULT_PARAMS, SystemParams
 from .harness import Table, geomean
 
@@ -45,15 +45,21 @@ def run(
     workloads=ALL_WORKLOADS,
     batches=BATCHES,
     params: SystemParams = DEFAULT_PARAMS,
+    jobs: int | None = None,
 ) -> Figure14Result:
-    """Evaluate every design point across workloads and batch sizes."""
+    """Evaluate every design point across workloads and batch sizes.
+
+    ``jobs`` fans the (workload x batch x design) grid out over the
+    process pool (see :mod:`repro.parallel`); the default is sequential.
+    """
+    grid = evaluate_grid(workloads, batches, DESIGN_NAMES, params, jobs=jobs)
     values = {}
     totals = {}
     for config in workloads:
         for batch in batches:
-            results = evaluate_all(config, batch, params)
-            reference = results["GPU-only"]
-            for design, result in results.items():
+            reference = grid[(config.name, batch, "GPU-only")]
+            for design in DESIGN_NAMES:
+                result = grid[(config.name, batch, design)]
                 values[(config.name, batch, design)] = result.normalized_to(reference)
                 totals[(config.name, batch, design)] = result.total
     return Figure14Result(values=values, totals=totals)

@@ -9,7 +9,7 @@ speedups grow from 6.2x/8.9x at the default size to 15.0x/17.6x at 8x
 from dataclasses import dataclass
 
 from ..models.model_zoo import ALL_WORKLOADS
-from ..system.design_points import evaluate_all
+from ..system.design_points import evaluate_grid
 from ..system.params import DEFAULT_PARAMS, SystemParams
 from .harness import Table, geomean
 
@@ -47,18 +47,28 @@ def run(
     scales=SCALES,
     batches=BATCHES,
     params: SystemParams = DEFAULT_PARAMS,
+    jobs: int | None = None,
 ) -> Figure15Result:
-    """Sweep embedding scale and measure TDIMM's speedups."""
+    """Sweep embedding scale and measure TDIMM's speedups.
+
+    ``jobs`` fans the (scale x workload x batch x design) grid out over
+    the process pool; the default is sequential.
+    """
+    scaled_configs = [
+        config.scaled_embedding(scale) for scale in scales for config in workloads
+    ]
+    grid = evaluate_grid(
+        scaled_configs, batches, ("TDIMM",) + BASELINES, params, jobs=jobs
+    )
     speedups = {}
     for scale in scales:
         for config in workloads:
-            scaled = config.scaled_embedding(scale)
+            scaled_name = config.scaled_embedding(scale).name
             for batch in batches:
-                results = evaluate_all(scaled, batch, params)
-                tdimm = results["TDIMM"]
+                tdimm = grid[(scaled_name, batch, "TDIMM")]
                 for baseline in BASELINES:
                     speedups[(baseline, scale, config.name, batch)] = (
-                        tdimm.speedup_over(results[baseline])
+                        tdimm.speedup_over(grid[(scaled_name, batch, baseline)])
                     )
     return Figure15Result(speedups=speedups)
 

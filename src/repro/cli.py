@@ -4,10 +4,15 @@ Usage::
 
     python -m repro list
     python -m repro figure 14
-    python -m repro figure 11 --quick
+    python -m repro figure 11 --quick --jobs 8
     python -m repro table 3
-    python -m repro ablations
+    python -m repro ablations --jobs 4
     python -m repro evaluate Facebook --batch 64
+
+Experiments whose design-point grids are cycle-simulated (figures 11/12,
+the ablations) accept ``--jobs N`` to fan the grid out over N worker
+processes (see :mod:`repro.parallel`); the ``REPRO_JOBS`` environment
+variable sets the default for every command.
 """
 
 import argparse
@@ -63,6 +68,8 @@ def _cmd_figure(args) -> int:
     if args.quick and args.number == "12":
         kwargs["ops"] = ("GATHER", "REDUCE")
         kwargs["batch"] = 48
+    if args.number != "3":  # every design-point/cycle sweep is jobs-aware
+        kwargs["jobs"] = args.jobs
     result = module.run(**kwargs)
     print(module.format_table(result))
     return 0
@@ -76,17 +83,23 @@ def _cmd_table(args) -> int:
     return 0
 
 
-def _cmd_ablations(_args) -> int:
-    mapping = ablation.address_mapping()
+def _cmd_ablations(args) -> int:
+    results = ablation.run_all(
+        jobs=args.jobs, overrides={"cpu_cache": {"accesses": 8000}}
+    )
+    mapping = results["address_mapping"]
     print(f"address mapping: interleaved {mapping.interleaved / 1e9:.1f} GB/s vs "
           f"whole-row {mapping.whole_row / 1e9:.1f} GB/s ({mapping.advantage:.2f}x)")
-    sched = ablation.scheduler()
+    sched = results["scheduler"]
     print(f"scheduler: FR-FCFS {sched.fr_fcfs / 1e9:.1f} GB/s vs "
           f"FCFS {sched.fcfs / 1e9:.1f} GB/s ({sched.advantage:.2f}x)")
-    cache = ablation.cpu_cache(accesses=8000)
+    cache = results["cpu_cache"]
     print(f"cpu cache: uniform gathers at {cache.uniform:.1%} of peak, "
           f"zipfian {cache.zipfian:.1%}, streaming {cache.streaming:.1%}")
-    queues = ablation.queue_sizing()
+    pages = results["page_policy"]
+    print(f"page policy: open {pages.open_page / 1e9:.1f} GB/s vs "
+          f"closed {pages.closed_page / 1e9:.1f} GB/s ({pages.open_advantage:.2f}x)")
+    queues = results["queue_sizing"]
     print(f"queue sizing: {queues.required_bytes} B per queue "
           f"(paper: {queues.paper_bytes} B)")
     return 0
@@ -100,7 +113,7 @@ def _cmd_evaluate(args) -> int:
         return 2
     if args.scale > 1:
         config = config.scaled_embedding(args.scale)
-    results = evaluate_all(config, args.batch)
+    results = evaluate_all(config, args.batch, jobs=args.jobs)
     table = Table(
         f"{config.name} @ batch {args.batch}, embedding dim {config.embedding_dim}",
         ["design", "lookup (us)", "memcpy (us)", "compute (us)", "other (us)",
@@ -124,7 +137,22 @@ def _cmd_evaluate(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="TensorDIMM reproduction experiment runner"
+        prog="repro",
+        description="TensorDIMM reproduction experiment runner",
+        epilog=(
+            "Set REPRO_JOBS=N to fan cycle-level sweeps out over N worker "
+            "processes by default (equivalent to passing --jobs N; "
+            "--jobs 0 means all CPUs)."
+        ),
+    )
+    jobs_opts = argparse.ArgumentParser(add_help=False)
+    jobs_opts.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation sweeps "
+        "(default: $REPRO_JOBS, else sequential; 0 = all CPUs)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -132,7 +160,9 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_list
     )
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure", parents=[jobs_opts]
+    )
     figure.add_argument("number", help="figure number (3, 4, 11-16)")
     figure.add_argument("--quick", action="store_true", help="trimmed sweep")
     figure.set_defaults(fn=_cmd_figure)
@@ -141,11 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
     tbl.add_argument("number", help="table number (3)")
     tbl.set_defaults(fn=_cmd_table)
 
-    sub.add_parser("ablations", help="run the ablation studies").set_defaults(
-        fn=_cmd_ablations
-    )
+    sub.add_parser(
+        "ablations", help="run the ablation studies", parents=[jobs_opts]
+    ).set_defaults(fn=_cmd_ablations)
 
-    ev = sub.add_parser("evaluate", help="evaluate one workload")
+    ev = sub.add_parser(
+        "evaluate", help="evaluate one workload", parents=[jobs_opts]
+    )
     ev.add_argument("workload", help="NCF | YouTube | Fox | Facebook")
     ev.add_argument("--batch", type=int, default=64)
     ev.add_argument("--scale", type=int, default=1, help="embedding scale factor")

@@ -172,6 +172,25 @@ class NmpExecStats:
         return max(self.dram_seconds(effective_bandwidth), self.alu_seconds(clock_hz))
 
 
+def trace_records(instr: Instruction) -> int:
+    """Number of 64 B transactions :meth:`NmpCore.trace` will emit.
+
+    Computable from the instruction alone (no storage access), so the
+    parallel engine can decide whether a trace is worth shipping to a
+    worker process before generating it.
+    """
+    index_words = -(-instr.count // ELEMS_PER_WORD)
+    if instr.opcode == Opcode.GATHER:
+        return index_words + 2 * instr.count * instr.words_per_slice
+    if instr.opcode == Opcode.REDUCE:
+        return 3 * instr.count
+    if instr.opcode == Opcode.AVERAGE:
+        return instr.count * (instr.average_num + 1)
+    if instr.opcode == Opcode.UPDATE:
+        return index_words + 3 * instr.count * instr.words_per_slice
+    raise ValueError(f"unknown opcode {instr.opcode}")
+
+
 class NmpCore:
     """One TensorDIMM's near-memory core: decode + execute + trace."""
 

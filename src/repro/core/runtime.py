@@ -58,12 +58,16 @@ class TensorDimmRuntime:
         node: TensorNode,
         timing_mode: str = "analytic",
         stream_efficiency: float = DEFAULT_STREAM_EFFICIENCY,
+        jobs: int | None = None,
     ):
         if timing_mode not in ("analytic", "cycle", "off"):
             raise ValueError(f"unknown timing mode {timing_mode!r}")
         self.node = node
         self.timing_mode = timing_mode
         self.stream_efficiency = stream_efficiency
+        #: Worker processes for cycle-mode DRAM simulation (default:
+        #: ``$REPRO_JOBS``, else sequential) — see :mod:`repro.parallel`.
+        self.jobs = jobs
         self.launches: list[KernelLaunch] = []
         self._scratch_counter = 0
 
@@ -85,7 +89,7 @@ class TensorDimmRuntime:
     def _run(self, name: str, instructions: list[Instruction]) -> KernelLaunch:
         launch = KernelLaunch(name=name, instructions=instructions)
         if self.timing_mode == "cycle":
-            for stats in self.node.broadcast_timed_batch(instructions):
+            for stats in self.node.broadcast_timed_batch(instructions, jobs=self.jobs):
                 launch.node_stats.append(stats)
                 launch.seconds += stats.seconds
             self.launches.append(launch)

@@ -103,6 +103,15 @@ class TensorDimm:
             controller.reset()
         return controller
 
+    def timed_controller_config(self, refresh_enabled: bool = True):
+        """Picklable snapshot of the NMP-local controller's configuration.
+
+        Handed to worker processes by :meth:`TensorNode.broadcast_timed` so
+        they can rebuild (once, cached per worker) the exact controller the
+        in-process path would have used.
+        """
+        return self._timed_controller(refresh_enabled).snapshot_config()
+
     def execute_timed(
         self, instr: Instruction, refresh_enabled: bool = True
     ) -> TimedExecution:

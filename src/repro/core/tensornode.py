@@ -21,16 +21,24 @@ from ..interconnect.link import NVLINK2_GPU, Link
 from .address_map import EmbeddingLayout
 from .allocator import Allocation, NodeAllocator
 from .isa import Instruction
-from .nmp_core import NmpExecStats
+from .nmp_core import NmpExecStats, trace_records
 from .tensordimm import TensorDimm, TimedExecution
 
 
 @dataclass
 class NodeExecStats:
-    """Aggregate result of one broadcast instruction across the node."""
+    """Aggregate result of one broadcast instruction across the node.
+
+    ``dram_per_dimm`` holds the cycle-level
+    :class:`~repro.dram.controller.ControllerStats` of every DIMM that was
+    actually simulated (empty for functional-only broadcasts).  It is the
+    merge target of the parallel engine, and what the determinism tests
+    compare bit-for-bit across worker counts.
+    """
 
     per_dimm: list
     seconds: float = 0.0
+    dram_per_dimm: list = field(default_factory=list)
 
     @property
     def total_bytes(self) -> int:
@@ -138,6 +146,7 @@ class TensorNode:
         instr: Instruction,
         refresh_enabled: bool = True,
         simulate_dimms: int | None = 1,
+        jobs: int | None = None,
     ) -> NodeExecStats:
         """Execute one instruction and measure its node-level latency.
 
@@ -148,37 +157,125 @@ class TensorNode:
         reuses that service time for the rest (pass ``None`` to simulate
         every DIMM — tests use this to verify the streams really are
         identical in length).
+
+        ``jobs`` (default: ``$REPRO_JOBS``, else 1) fans the per-DIMM
+        cycle simulations out across the process pool of
+        :mod:`repro.parallel`; results are bit-identical to the sequential
+        path at every worker count, and instructions too small to be worth
+        shipping run in-process automatically.
         """
-        self.instructions_executed += 1
+        from ..parallel import min_task_records, resolve_jobs
+
+        jobs = resolve_jobs(jobs)
         limit = self.num_dimms if simulate_dimms is None else simulate_dimms
+        if jobs > 1 and limit > 1 and trace_records(instr) >= min_task_records():
+            return self._broadcast_batch_parallel(
+                [instr], refresh_enabled, limit, jobs
+            )[0]
+        self.instructions_executed += 1
         per_dimm: list[NmpExecStats] = []
+        dram_per_dimm = []
         seconds = 0.0
         timed: TimedExecution | None = None
         for i, dimm in enumerate(self.dimms):
             if i < limit:
                 timed = dimm.execute_timed(instr, refresh_enabled=refresh_enabled)
                 per_dimm.append(timed.exec_stats)
+                dram_per_dimm.append(timed.dram_stats)
                 seconds = max(seconds, timed.seconds)
             else:
                 per_dimm.append(dimm.execute(instr))
-        return NodeExecStats(per_dimm=per_dimm, seconds=seconds)
+        return NodeExecStats(
+            per_dimm=per_dimm, seconds=seconds, dram_per_dimm=dram_per_dimm
+        )
 
     def broadcast_timed_batch(
         self,
         instrs: list[Instruction],
         refresh_enabled: bool = True,
         simulate_dimms: int | None = 1,
+        jobs: int | None = None,
     ) -> list[NodeExecStats]:
         """Execute a whole instruction sequence with cycle-level timing.
 
         Equivalent to calling :meth:`broadcast_timed` per instruction (the
         DIMMs' reusable controllers already amortize per-instruction setup);
         exists so runtimes and sweeps can hand over a kernel's full
-        instruction stream in one call.
+        instruction stream in one call.  With ``jobs > 1`` the whole
+        (instruction x DIMM) grid of cycle simulations is fanned out across
+        the process pool: every (instruction, DIMM) pair is an independent
+        timing domain (controllers reset between instructions), so the
+        results stay bit-identical to the sequential path.
         """
+        from ..parallel import min_task_records, resolve_jobs
+
+        jobs = resolve_jobs(jobs)
+        limit = self.num_dimms if simulate_dimms is None else simulate_dimms
+        threshold = min_task_records()
+        if (
+            jobs > 1
+            and len(instrs) * max(limit, 1) > 1
+            and any(trace_records(i) >= threshold for i in instrs)
+        ):
+            return self._broadcast_batch_parallel(instrs, refresh_enabled, limit, jobs)
         return [
             self.broadcast_timed(
-                instr, refresh_enabled=refresh_enabled, simulate_dimms=simulate_dimms
+                instr,
+                refresh_enabled=refresh_enabled,
+                simulate_dimms=simulate_dimms,
+                jobs=jobs,  # already resolved: an explicit jobs=1 stays sequential
             )
             for instr in instrs
         ]
+
+    def _broadcast_batch_parallel(
+        self,
+        instrs: list[Instruction],
+        refresh_enabled: bool,
+        limit: int,
+        jobs: int,
+    ) -> list[NodeExecStats]:
+        """Fan the (instruction x simulated-DIMM) grid over worker processes.
+
+        The functional execution (which mutates each DIMM's storage) stays
+        in this process and runs *while* the workers replay the DRAM traces
+        cycle-level.  Per-DIMM operation order is exactly the sequential
+        path's — trace, then execute, instruction by instruction — so
+        functional state, exec stats, and DRAM stats are all bit-identical.
+        """
+        from ..parallel import get_executor, replay_trace
+
+        executor = get_executor(jobs)
+        configs = [
+            dimm.timed_controller_config(refresh_enabled)
+            for dimm in self.dimms[:limit]
+        ]
+        plans = []
+        for instr in instrs:
+            self.instructions_executed += 1
+            futures = []
+            for i in range(limit):
+                trace = self.dimms[i].nmp.trace(instr)
+                futures.append(
+                    executor.submit(
+                        replay_trace, configs[i], trace.addr, trace.is_write, trace.cycle
+                    )
+                )
+            # Functional execution overlaps with the workers' cycle replay.
+            per_dimm = [dimm.execute(instr) for dimm in self.dimms]
+            plans.append((futures, per_dimm))
+        results = []
+        for futures, per_dimm in plans:
+            dram_per_dimm = [future.result() for future in futures]
+            seconds = 0.0
+            for i, dram_stats in enumerate(dram_per_dimm):
+                dimm = self.dimms[i]
+                dram_seconds = dimm.timing.cycles_to_seconds(dram_stats.finish_cycle)
+                alu_seconds = per_dimm[i].alu_seconds(dimm.nmp.alu.clock_hz)
+                seconds = max(seconds, dram_seconds, alu_seconds)
+            results.append(
+                NodeExecStats(
+                    per_dimm=per_dimm, seconds=seconds, dram_per_dimm=dram_per_dimm
+                )
+            )
+        return results

@@ -30,6 +30,16 @@ Two schedulers implement the same policy:
 Requests enter either one at a time (:meth:`MemoryController.enqueue`) or as
 a whole columnar trace (:meth:`MemoryController.enqueue_batch`), which
 decodes every address in one vectorized pass.
+
+For the process-pool execution engine (:mod:`repro.parallel`) a controller
+can describe itself as a :class:`ControllerConfig` — a frozen, picklable,
+hashable snapshot of everything its constructor needs — and export its
+undrained request backlog as a columnar trace
+(:meth:`MemoryController.export_pending`).  A worker process rebuilds the
+controller once per distinct config, replays shipped traces against it, and
+returns the :class:`ControllerStats`; because sequence numbers only break
+ties *relative* to each other within one controller, a worker-side replay
+is bit-identical to draining the original controller in-process.
 """
 
 from collections import deque
@@ -90,6 +100,42 @@ class ControllerStats:
         if not self.finish_cycle:
             return 0.0
         return self.total_bytes / timing.cycles_to_seconds(self.finish_cycle)
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Picklable construction recipe for a :class:`MemoryController`.
+
+    ``timing`` is the controller's *effective* timing (refresh scaling
+    already applied), so :meth:`build` always passes
+    ``refresh_enabled=True`` and reconstructs identical behaviour.  The
+    dataclass is frozen and hashable so worker processes can key a
+    controller cache by it — one construction per distinct configuration
+    per worker, no matter how many traces are replayed.
+    """
+
+    timing: DramTiming
+    organization: DramOrganization
+    mapping: AddressMapping
+    window: int
+    write_high_watermark: int
+    write_low_watermark: int
+    row_policy: str
+    scheduler: str
+
+    def build(self) -> "MemoryController":
+        """Construct a fresh controller equivalent to the snapshot source."""
+        return MemoryController(
+            self.timing,
+            organization=self.organization,
+            mapping=self.mapping,
+            window=self.window,
+            write_high_watermark=self.write_high_watermark,
+            write_low_watermark=self.write_low_watermark,
+            refresh_enabled=True,  # self.timing is already refresh-scaled
+            row_policy=self.row_policy,
+            scheduler=self.scheduler,
+        )
 
 
 class _Entry:
@@ -339,6 +385,69 @@ class MemoryController:
                 write_append(entry)
             else:
                 read_append(entry)
+
+    def snapshot_config(self) -> ControllerConfig:
+        """Freeze this controller's construction parameters (see
+        :class:`ControllerConfig`).  The snapshot captures the effective
+        timing, so refresh scaling survives the round trip."""
+        return ControllerConfig(
+            timing=self.timing,
+            organization=self.organization,
+            mapping=self.mapping,
+            window=self.window,
+            write_high_watermark=self.write_high,
+            write_low_watermark=self.write_low,
+            row_policy=self.row_policy,
+            scheduler=self.scheduler,
+        )
+
+    def export_pending(self) -> TraceBuffer:
+        """Export the undrained backlog as a columnar trace, in enqueue order.
+
+        The returned buffer replays bit-identically through a fresh
+        controller built from :meth:`snapshot_config`: entries are emitted
+        in sequence-number order (the order they entered this controller),
+        and ``enqueue_batch`` hands a replaying controller fresh consecutive
+        sequence numbers, which preserves every FR-FCFS age tie-break.
+        Only valid before a run has started admitting entries.
+        """
+        if self._read_q or self._write_q:
+            raise RuntimeError(
+                "cannot export from a partially drained controller"
+            )
+        reads = list(self._read_backlog)  # deque indexing is O(n); lists are O(1)
+        writes = list(self._write_backlog)
+        n = len(reads) + len(writes)
+        addr = np.empty(n, dtype=np.int64)
+        is_write = np.empty(n, dtype=bool)
+        cycle = np.empty(n, dtype=np.int64)
+        ri = wi = 0
+        for out in range(n):  # merge two seq-sorted FIFOs
+            take_read = ri < len(reads) and (
+                wi >= len(writes) or reads[ri].seq < writes[wi].seq
+            )
+            entry = reads[ri] if take_read else writes[wi]
+            if take_read:
+                ri += 1
+            else:
+                wi += 1
+            addr[out] = entry.addr
+            is_write[out] = entry.is_write
+            cycle[out] = entry.arrival
+        return TraceBuffer(addr, is_write, cycle)
+
+    def adopt_run(self, stats: ControllerStats) -> None:
+        """Adopt the result of an externally replayed drain.
+
+        Used by the parallel engine after a worker process drained this
+        controller's exported trace: leaves the controller in the same
+        observable state as if :meth:`run_to_completion` had returned
+        ``stats`` itself — empty queues, final statistics, clock at the
+        finish cycle.
+        """
+        self.reset()
+        self.stats = stats
+        self._now = stats.finish_cycle
 
     @property
     def pending(self) -> int:

@@ -81,6 +81,11 @@ class DramSystem:
                     window=window,
                 )
             )
+        # Columnar mirror of each channel's backlog, appended in enqueue
+        # order.  The parallel run ships these buffers to the workers
+        # directly instead of re-walking the controllers' entry objects;
+        # kept consistent by enqueue/enqueue_trace and cleared by run().
+        self._pending_traces: list[list[TraceBuffer]] = [[] for _ in range(channels)]
 
     @property
     def peak_bandwidth(self) -> float:
@@ -102,6 +107,9 @@ class DramSystem:
         channel, local = self.route(addr)
         self.controllers[channel].enqueue(
             Request(addr=local, is_write=is_write, arrival=cycle)
+        )
+        self._pending_traces[channel].append(
+            TraceBuffer(np.array([local]), np.array([is_write]), np.array([cycle]))
         )
 
     def enqueue_trace(self, trace) -> None:
@@ -125,17 +133,34 @@ class DramSystem:
             mask = channel_ids == channel
             if not mask.any():
                 continue
-            self.controllers[channel].enqueue_batch(
-                TraceBuffer(local[mask], trace.is_write[mask], trace.cycle[mask])
-            )
+            share = TraceBuffer(local[mask], trace.is_write[mask], trace.cycle[mask])
+            self.controllers[channel].enqueue_batch(share)
+            self._pending_traces[channel].append(share)
 
-    def run(self) -> SystemStats:
+    def run(self, jobs: int | None = None) -> SystemStats:
         """Drain every channel and aggregate the results.
 
         Channels share no timing state (separate command/address and data
         wires), so they are simulated independently; the elapsed time is the
         slowest channel's finish time.
+
+        ``jobs`` (default: ``$REPRO_JOBS``, else 1) fans the independent
+        channel drains out across the process pool of :mod:`repro.parallel`.
+        Each channel ships its backlog as a columnar trace plus a config
+        snapshot; per-channel ``ControllerStats`` come back in channel order
+        and are bit-identical to the sequential drain at every worker count
+        (tiny traces fall back to the in-process path automatically).
         """
+        from ..parallel import min_task_records, resolve_jobs
+
+        jobs = resolve_jobs(jobs)
+        threshold = min_task_records()
+        if (
+            jobs > 1
+            and self.num_channels > 1
+            and any(c.pending >= threshold for c in self.controllers)
+        ):
+            return self._run_parallel(jobs)
         stats: list[ControllerStats] = []
         total_bytes = 0
         elapsed = 0.0
@@ -144,4 +169,45 @@ class DramSystem:
             stats.append(s)
             total_bytes += s.total_bytes
             elapsed = max(elapsed, controller.elapsed_seconds())
+        self._pending_traces = [[] for _ in range(self.num_channels)]
+        return SystemStats(total_bytes=total_bytes, elapsed_seconds=elapsed, channel_stats=stats)
+
+    def _channel_trace(self, channel: int) -> TraceBuffer:
+        """This channel's backlog as one columnar trace, in enqueue order.
+
+        The cheap path concatenates the buffers the enqueue methods already
+        demuxed; if the mirror disagrees with the controller (someone fed
+        the controller directly), fall back to exporting its backlog.
+        """
+        controller = self.controllers[channel]
+        buffers = self._pending_traces[channel]
+        if sum(len(b) for b in buffers) == controller.pending:
+            return buffers[0] if len(buffers) == 1 else TraceBuffer.concat(buffers)
+        return controller.export_pending()
+
+    def _run_parallel(self, jobs: int) -> SystemStats:
+        """Fan the per-channel drains out across worker processes."""
+        from ..parallel import replay_traces
+
+        traces = [self._channel_trace(c) for c in range(self.num_channels)]
+        tasks = [
+            (controller.snapshot_config(), trace)
+            for controller, trace in zip(self.controllers, traces)
+        ]
+        stats = replay_traces(tasks, jobs=jobs)
+        total_bytes = 0
+        elapsed = 0.0
+        for controller, trace, s in zip(self.controllers, traces, stats):
+            # Channels share no timing state, so a worker that saw only this
+            # channel's trace must account for exactly this channel's
+            # requests — anything else means the domains leaked into each
+            # other and the merge would be nondeterministic.
+            assert s.accesses == len(trace), (
+                f"channel drained {s.accesses} requests but was shipped "
+                f"{len(trace)} — independent-channel invariant violated"
+            )
+            controller.adopt_run(s)
+            total_bytes += s.total_bytes
+            elapsed = max(elapsed, controller.elapsed_seconds())
+        self._pending_traces = [[] for _ in range(self.num_channels)]
         return SystemStats(total_bytes=total_bytes, elapsed_seconds=elapsed, channel_stats=stats)

@@ -9,14 +9,63 @@ architectural comparison can be read as tail latency and throughput, not
 just per-batch time.
 """
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..models.recsys import RecSysConfig
 from ..system.design_points import evaluate
 from ..system.params import DEFAULT_PARAMS, SystemParams
+
+
+class _GrowArray:
+    """An append-only numpy buffer that grows in chunks.
+
+    Long service simulations record one latency per request; a plain Python
+    list costs one boxed float plus pointer per entry (~60 B each), which is
+    what blew worker-side memory up when simulations were fanned out across
+    processes.  This keeps the same amortized O(1) append with an 8 B flat
+    element, growing the backing array geometrically in whole chunks.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    _CHUNK = 8192
+
+    def __init__(self, dtype):
+        self._data = np.empty(self._CHUNK, dtype=dtype)
+        self._size = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._data.shape[0]
+        if needed > capacity:
+            while capacity < needed:
+                capacity = max(capacity * 2, capacity + self._CHUNK)
+            grown = np.empty(capacity, dtype=self._data.dtype)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+
+    def append(self, value) -> None:
+        self._reserve(1)
+        self._data[self._size] = value
+        self._size += 1
+
+    def extend(self, values) -> None:
+        values = np.asarray(values, dtype=self._data.dtype)
+        self._reserve(values.shape[0])
+        self._data[self._size : self._size + values.shape[0]] = values
+        self._size += values.shape[0]
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def view(self) -> np.ndarray:
+        """A read-only window over the recorded values (no copy)."""
+        out = self._data[: self._size]
+        out.flags.writeable = False
+        return out
 
 
 @dataclass(frozen=True)
@@ -33,18 +82,41 @@ class ServicePolicy:
             raise ValueError("max wait cannot be negative")
 
 
-@dataclass
 class ServiceStats:
-    """Results of one service simulation."""
+    """Results of one service simulation.
 
-    request_latencies: list = field(default_factory=list)
-    batch_sizes: list = field(default_factory=list)
-    busy_seconds: float = 0.0
-    span_seconds: float = 0.0
+    Request latencies and batch sizes are recorded in chunk-grown numpy
+    buffers (see :class:`_GrowArray`) rather than unbounded Python lists,
+    so long simulations — and the worker processes :func:`compare_designs`
+    fans them out to — stay compact.  The public ``request_latencies`` /
+    ``batch_sizes`` properties still read as sequences (len / min / max /
+    iteration / numpy reductions all work unchanged).
+    """
+
+    def __init__(self):
+        self._latencies = _GrowArray(np.float64)
+        self._batches = _GrowArray(np.int64)
+        self.busy_seconds: float = 0.0
+        self.span_seconds: float = 0.0
+
+    @property
+    def request_latencies(self) -> np.ndarray:
+        """Per-request latency in seconds (read-only array view)."""
+        return self._latencies.view()
+
+    @property
+    def batch_sizes(self) -> np.ndarray:
+        """Dispatched batch sizes in order (read-only array view)."""
+        return self._batches.view()
+
+    def record_batch(self, size: int, latencies) -> None:
+        """Record one dispatched batch and its requests' latencies."""
+        self._batches.append(size)
+        self._latencies.extend(latencies)
 
     @property
     def requests(self) -> int:
-        return len(self.request_latencies)
+        return self._latencies.size
 
     @property
     def throughput(self) -> float:
@@ -61,12 +133,12 @@ class ServiceStats:
 
     @property
     def mean_batch(self) -> float:
-        if not self.batch_sizes:
+        if not self._batches.size:
             return 0.0
         return float(np.mean(self.batch_sizes))
 
     def latency_percentile(self, pct: float) -> float:
-        if not self.request_latencies:
+        if not self._latencies.size:
             return 0.0
         return float(np.percentile(self.request_latencies, pct))
 
@@ -155,11 +227,23 @@ class InferenceService:
             finish = dispatch + service
             server_free = finish
             finish_last = finish
-            stats.batch_sizes.append(len(batch))
             stats.busy_seconds += service
-            stats.request_latencies.extend(finish - a for a in batch)
+            stats.record_batch(len(batch), finish - np.asarray(batch))
         stats.span_seconds = finish_last
         return stats
+
+
+def _simulate_design(task) -> ServiceStats:
+    """One design point's service simulation (process-pool work item).
+
+    The workload RNG is reconstructed inside the worker from the seed the
+    task carries, so results are independent of which worker runs which
+    design (and identical to the in-process path).
+    """
+    config, design, policy, params, arrival_rate, duration, seed = task
+    return InferenceService(config, design, policy, params).simulate(
+        arrival_rate, duration, seed
+    )
 
 
 def compare_designs(
@@ -170,11 +254,18 @@ def compare_designs(
     params: SystemParams = DEFAULT_PARAMS,
     duration: float = 0.25,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> dict:
-    """Run the same arrival trace against every design point."""
-    return {
-        design: InferenceService(config, design, policy, params).simulate(
-            arrival_rate, duration, seed
-        )
+    """Run the same arrival trace against every design point.
+
+    ``jobs`` (default: ``$REPRO_JOBS``, else 1) fans the independent
+    per-design simulations out across the process pool.
+    """
+    from ..parallel import parallel_map
+
+    tasks = [
+        (config, design, policy, params, arrival_rate, duration, seed)
         for design in designs
-    }
+    ]
+    results = parallel_map(_simulate_design, tasks, jobs=jobs, chunksize=1)
+    return dict(zip(designs, results))
