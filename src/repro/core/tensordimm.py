@@ -17,8 +17,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import ACCESS_GRANULARITY
-from ..dram.controller import ControllerStats, MemoryController
+from ..dram.controller import ControllerConfig, ControllerStats, MemoryController
 from ..dram.mapping import AddressMapping, DramOrganization
+from ..dram.memo import TIMING_MEMO
 from ..dram.storage import WordStorage
 from ..dram.timing import DDR4_3200, DramTiming
 from .isa import Instruction
@@ -63,6 +64,7 @@ class TensorDimm:
         # controller's timing.  Construction is the dominant per-instruction
         # cost for short traces, so amortizing it matters for sweeps.
         self._controllers: dict[bool, MemoryController] = {}
+        self._configs: dict[bool, "ControllerConfig"] = {}
 
     @property
     def capacity_words(self) -> int:
@@ -108,9 +110,15 @@ class TensorDimm:
 
         Handed to worker processes by :meth:`TensorNode.broadcast_timed` so
         they can rebuild (once, cached per worker) the exact controller the
-        in-process path would have used.
+        in-process path would have used, and used as the timing-memo key by
+        :meth:`execute_timed`.  Cached — configs are frozen, so one snapshot
+        per refresh setting serves the DIMM's whole lifetime.
         """
-        return self._timed_controller(refresh_enabled).snapshot_config()
+        config = self._configs.get(refresh_enabled)
+        if config is None:
+            config = self._timed_controller(refresh_enabled).snapshot_config()
+            self._configs[refresh_enabled] = config
+        return config
 
     def execute_timed(
         self, instr: Instruction, refresh_enabled: bool = True
@@ -123,13 +131,24 @@ class TensorDimm:
         instruction's DRAM service time on this DIMM.  The whole columnar
         trace is enqueued in one batch, and the controller is a reused
         (reset) instance, so back-to-back instructions pay no setup.
+
+        The drain is memoized through the process-wide timing cache
+        (:mod:`repro.dram.memo`): a byte-identical trace against the same
+        controller configuration — e.g. the index-independent REDUCE /
+        AVERAGE traces the runtime's combine chains replay — skips the
+        cycle-level simulation entirely and reuses the cached
+        :class:`ControllerStats`, which is bit-identical by construction.
         """
         trace = self.nmp.trace(instr)
         stats = self.execute(instr)
-        controller = self._timed_controller(refresh_enabled)
-        controller.enqueue_batch(trace)
-        dram_stats = controller.run_to_completion()
-        dram_seconds = controller.elapsed_seconds()
+        config = self.timed_controller_config(refresh_enabled)
+        dram_stats = TIMING_MEMO.lookup(config, trace)
+        if dram_stats is None:
+            controller = self._timed_controller(refresh_enabled)
+            controller.enqueue_batch(trace)
+            dram_stats = controller.run_to_completion()
+            TIMING_MEMO.store(config, trace, dram_stats)
+        dram_seconds = self.timing.cycles_to_seconds(dram_stats.finish_cycle)
         alu_seconds = stats.alu_seconds(self.nmp.alu.clock_hz)
         return TimedExecution(
             exec_stats=stats,

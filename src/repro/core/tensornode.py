@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ACCESS_GRANULARITY, ELEMS_PER_WORD
+from ..dram.controller import ControllerStats
 from ..dram.mapping import DramOrganization
 from ..dram.timing import DDR4_3200, DramTiming
 from ..interconnect.link import NVLINK2_GPU, Link
@@ -242,7 +243,17 @@ class TensorNode:
         cycle-level.  Per-DIMM operation order is exactly the sequential
         path's — trace, then execute, instruction by instruction — so
         functional state, exec stats, and DRAM stats are all bit-identical.
+
+        Traces are deduplicated before shipping: a ``(config, digest)``
+        already answered by the timing memo is served from the cache, and
+        one already in flight in this batch (the rank-interleaved layout
+        gives every DIMM an identical local stream) shares the same worker
+        result instead of being pickled again — a digest hit means the
+        trace never crosses the IPC boundary at all.
         """
+        from dataclasses import replace
+
+        from ..dram.memo import TIMING_MEMO
         from ..parallel import get_executor, replay_trace
 
         executor = get_executor(jobs)
@@ -251,22 +262,41 @@ class TensorNode:
             for dimm in self.dimms[:limit]
         ]
         plans = []
+        inflight = {}
         for instr in instrs:
             self.instructions_executed += 1
             futures = []
             for i in range(limit):
                 trace = self.dimms[i].nmp.trace(instr)
-                futures.append(
-                    executor.submit(
-                        replay_trace, configs[i], trace.addr, trace.is_write, trace.cycle
+                config = configs[i]
+                cached = TIMING_MEMO.lookup(config, trace)
+                if cached is not None:
+                    futures.append(cached)
+                    continue
+                key = (config, trace.digest())
+                future = inflight.get(key)
+                if future is None:
+                    future = executor.submit(
+                        replay_trace, config, trace.addr, trace.is_write, trace.cycle
                     )
-                )
+                    inflight[key] = future
+                futures.append((future, config, trace))
             # Functional execution overlaps with the workers' cycle replay.
             per_dimm = [dimm.execute(instr) for dimm in self.dimms]
             plans.append((futures, per_dimm))
         results = []
         for futures, per_dimm in plans:
-            dram_per_dimm = [future.result() for future in futures]
+            dram_per_dimm = []
+            for item in futures:
+                if isinstance(item, ControllerStats):
+                    dram_per_dimm.append(item)
+                    continue
+                future, config, trace = item
+                stats = future.result()
+                TIMING_MEMO.store(config, trace, stats)
+                # Each DIMM gets its own stats object even when the worker
+                # result is shared (deduplicated identical traces).
+                dram_per_dimm.append(replace(stats))
             seconds = 0.0
             for i, dram_stats in enumerate(dram_per_dimm):
                 dimm = self.dimms[i]

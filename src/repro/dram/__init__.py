@@ -10,11 +10,14 @@ Public surface:
 * :class:`~repro.dram.storage.WordStorage` — functional 64 B-word store
 * :mod:`~repro.dram.trace` — trace records and generators
 * :class:`~repro.dram.cache.Cache` / ``CacheHierarchy`` — CPU-gather ablation
+* :mod:`~repro.dram.memo` — cross-layer timing memoization
+  (:data:`~repro.dram.memo.TIMING_MEMO`, :func:`~repro.dram.memo.timing_memo_stats`)
 """
 
 from .cache import Cache, CacheHierarchy, CacheStats
 from .command import Command, Request, TraceBuffer, TraceRequest
-from .controller import ControllerStats, MemoryController
+from .controller import ControllerConfig, ControllerStats, MemoryController
+from .memo import TIMING_MEMO, TimingMemo, timing_memo_stats
 from .mapping import (
     BANK_INTERLEAVED_ORDER,
     RANK_INTERLEAVED_ORDER,
@@ -33,6 +36,7 @@ __all__ = [
     "CacheHierarchy",
     "CacheStats",
     "Command",
+    "ControllerConfig",
     "ControllerStats",
     "DDR4_2400",
     "DDR4_2666",
@@ -46,7 +50,10 @@ __all__ = [
     "Request",
     "SPEED_GRADES",
     "SystemStats",
+    "TIMING_MEMO",
+    "TimingMemo",
     "TraceBuffer",
+    "timing_memo_stats",
     "TraceRequest",
     "WordStorage",
 ]

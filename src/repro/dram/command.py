@@ -1,25 +1,42 @@
 """DRAM command and request types shared across the simulator."""
 
-import itertools
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum, auto
 
 import numpy as np
 
-#: Global request sequence counter.  FR-FCFS breaks ties by age, so every
-#: request entering a controller — through the scalar or the batched path —
-#: draws its sequence number from the same monotonic source.
-_seq_counter = itertools.count()
+
+class _SeqCounter:
+    """Global request sequence counter.  FR-FCFS breaks ties by age, so every
+    request entering a controller — through the scalar or the batched path —
+    draws its sequence number from the same monotonic source."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+
+_seq_counter = _SeqCounter()
 
 
 def next_seq() -> int:
     """Draw the next request sequence number (monotonic, process-wide)."""
-    return next(_seq_counter)
+    seq = _seq_counter.value
+    _seq_counter.value = seq + 1
+    return seq
 
 
-def reserve_seqs(n: int) -> list:
-    """Draw ``n`` consecutive sequence numbers at once (batched enqueue)."""
-    return list(itertools.islice(_seq_counter, n))
+def reserve_seq_block(n: int) -> int:
+    """Reserve ``n`` consecutive sequence numbers; returns the first.
+
+    O(1) regardless of ``n`` — the batched enqueue path labels a whole
+    columnar trace with ``base + arange(n)`` instead of drawing numbers one
+    by one."""
+    base = _seq_counter.value
+    _seq_counter.value = base + n
+    return base
 
 
 class Command(Enum):
@@ -90,7 +107,7 @@ class TraceBuffer:
     unchanged.
     """
 
-    __slots__ = ("addr", "is_write", "cycle")
+    __slots__ = ("addr", "is_write", "cycle", "_digest")
 
     def __init__(self, addr, is_write, cycle=None):
         self.addr = np.ascontiguousarray(addr, dtype=np.int64)
@@ -112,6 +129,24 @@ class TraceBuffer:
             if cycle.shape != (n,):
                 raise ValueError("cycle must match addr length")
         self.cycle = np.ascontiguousarray(cycle)
+        self._digest: bytes | None = None
+
+    def digest(self) -> bytes:
+        """Content digest of the trace (addresses, directions, arrivals).
+
+        Two buffers with equal digests replay identically through equally
+        configured controllers, so ``(ControllerConfig, digest)`` keys the
+        cross-layer timing memo (:mod:`repro.dram.memo`).  The digest is
+        computed once and cached on the buffer — traces are treated as
+        immutable once handed to the timing model."""
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(len(self).to_bytes(8, "little"))
+            h.update(self.addr.tobytes())
+            h.update(np.packbits(self.is_write).tobytes())
+            h.update(self.cycle.tobytes())
+            self._digest = h.digest()
+        return self._digest
 
     # -- construction helpers -------------------------------------------------
 

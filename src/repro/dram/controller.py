@@ -29,7 +29,23 @@ Two schedulers implement the same policy:
 
 Requests enter either one at a time (:meth:`MemoryController.enqueue`) or as
 a whole columnar trace (:meth:`MemoryController.enqueue_batch`), which
-decodes every address in one vectorized pass.
+decodes every address in one vectorized pass.  Pending requests live in a
+**columnar backlog** (:class:`_Backlog`: array chunks of decoded
+coordinates, arrivals, and sequence numbers); per-request Python objects
+are only materialized when the scheduler admits them into its working
+window.
+
+On top of the indexed scheduler sits the **streak-compiled fast path**
+(:meth:`MemoryController._attempt_streak`): TensorISA traffic is streaming
+by construction, so drains spend most of their time issuing long runs of
+row-hit column commands paced only by tCCD and the data bus.  When the
+per-bank candidate state proves such a run has no competing candidate, the
+whole run — including backlog records that were never materialized — is
+issued in closed form with vectorized arithmetic, advancing the clock, bus
+state, and statistics once for N commands.  The fast path is bit-identical
+to the per-command loop (and to ``scheduler="scan"``); ``REPRO_FAST_DRAIN=0``
+or ``fast_drain=False`` disables it.  See PERF.md for the invariants and
+fallback triggers.
 
 For the process-pool execution engine (:mod:`repro.parallel`) a controller
 can describe itself as a :class:`ControllerConfig` — a frozen, picklable,
@@ -42,15 +58,32 @@ ties *relative* to each other within one controller, a worker-side replay
 is bit-identical to draining the original controller in-process.
 """
 
+import os
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
 from .bank import Rank
-from .command import Request, TraceBuffer, reserve_seqs
+from .command import Request, TraceBuffer, reserve_seq_block
 from .mapping import AddressMapping, DramOrganization
 from .timing import DramTiming
+
+#: Kill switch for the streak-compiled drain fast path.  The fast path is
+#: bit-identical to the per-command loop (the parity matrix proves it), so
+#: this exists for benchmarking and for bisecting suspected divergence:
+#: ``REPRO_FAST_DRAIN=0`` forces every drain through the per-command loop.
+FAST_DRAIN_ENV_VAR = "REPRO_FAST_DRAIN"
+
+#: Upper bound on backlog records absorbed into one streak.  Bounds the
+#: numpy work a single (possibly failing) streak attempt can do; a longer
+#: run simply compiles as several back-to-back streaks.
+STREAK_ABSORB_CAP = 16384
+
+
+def fast_drain_default() -> bool:
+    """The environment-resolved fast-path default (see ``REPRO_FAST_DRAIN``)."""
+    return os.environ.get(FAST_DRAIN_ENV_VAR, "1").lower() not in ("0", "off", "false")
 
 
 @dataclass
@@ -122,6 +155,7 @@ class ControllerConfig:
     write_low_watermark: int
     row_policy: str
     scheduler: str
+    fast_drain: bool | None = None
 
     def build(self) -> "MemoryController":
         """Construct a fresh controller equivalent to the snapshot source."""
@@ -135,6 +169,7 @@ class ControllerConfig:
             refresh_enabled=True,  # self.timing is already refresh-scaled
             row_policy=self.row_policy,
             scheduler=self.scheduler,
+            fast_drain=self.fast_drain,
         )
 
 
@@ -182,6 +217,160 @@ class _Entry:
         self.flat = -1
         self.qpos = -1
         self.bpos = -1
+
+
+class _BacklogChunk:
+    """One enqueue call's worth of pending requests, stored columnar.
+
+    All fields are parallel int64 numpy arrays (plus an optional
+    ``requests`` list carrying :class:`Request` objects from the scalar
+    enqueue path, for completion write-back).  ``start`` is the consumed
+    head offset — records before it have been admitted or streak-issued.
+    ``_py`` holds plain-list mirrors, materialized lazily the first time a
+    record is popped one at a time (admission), so per-record pops cost
+    list indexing instead of numpy scalar extraction.
+    """
+
+    __slots__ = (
+        "addr",
+        "arrival",
+        "rank",
+        "bankgroup",
+        "bank",
+        "row",
+        "column",
+        "flat",
+        "seq",
+        "requests",
+        "start",
+        "n",
+        "_py",
+    )
+
+    def __init__(self, addr, arrival, rank, bankgroup, bank, row, column, flat, seq, requests=None):
+        self.addr = addr
+        self.arrival = arrival
+        self.rank = rank
+        self.bankgroup = bankgroup
+        self.bank = bank
+        self.row = row
+        self.column = column
+        self.flat = flat
+        self.seq = seq
+        self.requests = requests
+        self.start = 0
+        self.n = len(addr)
+        self._py = None
+
+    @classmethod
+    def scalar(cls, addr, arrival, rank, bankgroup, bank, row, column, flat, seq, request):
+        """A one-record chunk from the scalar enqueue path.
+
+        Columns start as plain one-element lists (``_py``); the numpy
+        arrays are only built if the streak compiler actually scans this
+        chunk (:meth:`ensure_arrays`), so per-request enqueue stays cheap.
+        """
+        chunk = cls.__new__(cls)
+        chunk.addr = None
+        chunk.arrival = None
+        chunk.rank = None
+        chunk.bankgroup = None
+        chunk.bank = None
+        chunk.row = None
+        chunk.column = None
+        chunk.flat = None
+        chunk.seq = None
+        chunk.requests = [request]
+        chunk.start = 0
+        chunk.n = 1
+        chunk._py = (
+            [addr], [arrival], [rank], [bankgroup], [bank], [row], [column], [flat], [seq]
+        )
+        return chunk
+
+    def ensure_arrays(self) -> None:
+        """Build the numpy columns of a lazily constructed scalar chunk."""
+        if self.addr is None:
+            cols = [np.asarray(c, dtype=np.int64) for c in self._py]
+            (
+                self.addr, self.arrival, self.rank, self.bankgroup,
+                self.bank, self.row, self.column, self.flat, self.seq,
+            ) = cols
+
+    def materialize(self):
+        if self._py is None:
+            self._py = (
+                self.addr.tolist(),
+                self.arrival.tolist(),
+                self.rank.tolist(),
+                self.bankgroup.tolist(),
+                self.bank.tolist(),
+                self.row.tolist(),
+                self.column.tolist(),
+                self.flat.tolist(),
+                self.seq.tolist(),
+            )
+        return self._py
+
+
+class _Backlog:
+    """A direction's pending requests: a FIFO of columnar chunks.
+
+    Scheduling-wise this is the same seq-ordered FIFO the old
+    ``deque[_Entry]`` was, but records stay columnar until admission
+    materializes them — and the streak compiler can classify and consume
+    whole runs with array arithmetic, never materializing them at all.
+    """
+
+    __slots__ = ("chunks", "length", "is_write")
+
+    def __init__(self, is_write: bool):
+        self.chunks: deque[_BacklogChunk] = deque()
+        self.length = 0
+        self.is_write = is_write
+
+    def __len__(self) -> int:
+        return self.length
+
+    def append_chunk(self, chunk: _BacklogChunk) -> None:
+        if chunk.n:
+            self.chunks.append(chunk)
+            self.length += chunk.n
+
+    def head_arrival(self) -> int:
+        """Arrival cycle of the oldest pending record (backlog non-empty)."""
+        chunk = self.chunks[0]
+        if chunk._py is not None:
+            return chunk._py[1][chunk.start]
+        return int(chunk.arrival[chunk.start])
+
+    def popleft(self) -> _Entry:
+        """Materialize and remove the oldest pending record."""
+        chunk = self.chunks[0]
+        addr, arrival, rank, bankgroup, bank, row, column, flat, seq = chunk.materialize()
+        i = chunk.start
+        entry = _Entry(
+            addr[i], self.is_write, arrival[i], rank[i], bankgroup[i], bank[i],
+            row[i], column[i], seq[i],
+            request=chunk.requests[i] if chunk.requests is not None else None,
+        )
+        entry.flat = flat[i]
+        chunk.start = i + 1
+        if chunk.start == chunk.n:
+            self.chunks.popleft()
+        self.length -= 1
+        return entry
+
+    def consume(self, count: int) -> None:
+        """Drop the oldest ``count`` records (already issued by a streak)."""
+        self.length -= count
+        while count:
+            chunk = self.chunks[0]
+            take = min(count, chunk.n - chunk.start)
+            chunk.start += take
+            count -= take
+            if chunk.start == chunk.n:
+                self.chunks.popleft()
 
 
 class _BankQueue:
@@ -241,6 +430,7 @@ class MemoryController:
         refresh_enabled: bool = True,
         row_policy: str = "open",
         scheduler: str = "indexed",
+        fast_drain: bool | None = None,
     ):
         if row_policy not in ("open", "closed"):
             raise ValueError(f"unknown row policy {row_policy!r}")
@@ -260,6 +450,7 @@ class MemoryController:
         self.window = window
         self.row_policy = row_policy
         self.scheduler = scheduler
+        self.fast_drain = fast_drain  # None = follow $REPRO_FAST_DRAIN
         self.write_high = write_high_watermark
         self.write_low = write_low_watermark
         # Scalar timing snapshots for the per-step hot path.
@@ -296,8 +487,8 @@ class MemoryController:
                     self._flat_rank.append(rank)
                     self._flat_bgflat.append(r * org.bankgroups + bg)
         self.stats = ControllerStats()
-        self._read_backlog: deque[_Entry] = deque()
-        self._write_backlog: deque[_Entry] = deque()
+        self._read_backlog = _Backlog(False)
+        self._write_backlog = _Backlog(True)
         self._read_q: list[_Entry] = []
         self._write_q: list[_Entry] = []
         self._read_banks: dict[int, _BankQueue] = {}
@@ -323,22 +514,24 @@ class MemoryController:
         request.bank = coords["bank"]
         request.row = coords["row"]
         request.column = coords["column"]
-        entry = _Entry(
+        org = self.organization
+        flat = (
+            request.rank * org.bankgroups + request.bankgroup
+        ) * org.banks_per_group + request.bank
+        chunk = _BacklogChunk.scalar(
             request.addr,
-            request.is_write,
             request.arrival,
             request.rank,
             request.bankgroup,
             request.bank,
             request.row,
             request.column,
+            flat,
             request.seq,
-            request=request,
+            request,
         )
-        if request.is_write:
-            self._write_backlog.append(entry)
-        else:
-            self._read_backlog.append(entry)
+        backlog = self._write_backlog if request.is_write else self._read_backlog
+        backlog.append_chunk(chunk)
 
     def enqueue_batch(self, trace, arrival=None) -> None:
         """Decode and queue a whole columnar trace in one vectorized pass.
@@ -348,6 +541,10 @@ class MemoryController:
         records join the same backlogs as scalar :meth:`enqueue` calls, in
         trace order, with sequence numbers drawn from the shared counter —
         scheduling is bit-identical to enqueueing the records one by one.
+        The whole call is vectorized: decode, sequence labelling, and the
+        read/write split are array operations; per-record Python objects
+        are only materialized later, at admission time (and never for
+        records the streak compiler retires straight from the backlog).
         """
         if not isinstance(trace, TraceBuffer):
             trace = TraceBuffer.from_records(trace)
@@ -363,28 +560,34 @@ class MemoryController:
             )
         coords = self.mapping.decode_batch(addr)
         if arrival is None:
-            arrivals = trace.cycle.tolist()
+            arrivals = trace.cycle
         else:
-            arrivals = np.broadcast_to(np.asarray(arrival, dtype=np.int64), (n,)).tolist()
-        seqs = reserve_seqs(n)
-        read_append = self._read_backlog.append
-        write_append = self._write_backlog.append
-        for a, w, arr, rk, bg, bk, row, col, seq in zip(
-            addr.tolist(),
-            trace.is_write.tolist(),
-            arrivals,
-            coords["rank"].tolist(),
-            coords["bankgroup"].tolist(),
-            coords["bank"].tolist(),
-            coords["row"].tolist(),
-            coords["column"].tolist(),
-            seqs,
+            arrivals = np.broadcast_to(np.asarray(arrival, dtype=np.int64), (n,))
+        seqs = reserve_seq_block(n) + np.arange(n, dtype=np.int64)
+        org = self.organization
+        flats = (
+            coords["rank"] * org.bankgroups + coords["bankgroup"]
+        ) * org.banks_per_group + coords["bank"]
+        is_write = trace.is_write
+        for backlog, mask in (
+            (self._read_backlog, ~is_write),
+            (self._write_backlog, is_write),
         ):
-            entry = _Entry(a, w, arr, rk, bg, bk, row, col, seq)
-            if w:
-                write_append(entry)
-            else:
-                read_append(entry)
+            if not mask.any():
+                continue
+            backlog.append_chunk(
+                _BacklogChunk(
+                    addr[mask],
+                    np.ascontiguousarray(arrivals[mask]),
+                    coords["rank"][mask],
+                    coords["bankgroup"][mask],
+                    coords["bank"][mask],
+                    coords["row"][mask],
+                    coords["column"][mask],
+                    flats[mask],
+                    seqs[mask],
+                )
+            )
 
     def snapshot_config(self) -> ControllerConfig:
         """Freeze this controller's construction parameters (see
@@ -399,6 +602,7 @@ class MemoryController:
             write_low_watermark=self.write_low,
             row_policy=self.row_policy,
             scheduler=self.scheduler,
+            fast_drain=self.fast_drain,
         )
 
     def export_pending(self) -> TraceBuffer:
@@ -415,26 +619,27 @@ class MemoryController:
             raise RuntimeError(
                 "cannot export from a partially drained controller"
             )
-        reads = list(self._read_backlog)  # deque indexing is O(n); lists are O(1)
-        writes = list(self._write_backlog)
-        n = len(reads) + len(writes)
-        addr = np.empty(n, dtype=np.int64)
-        is_write = np.empty(n, dtype=bool)
-        cycle = np.empty(n, dtype=np.int64)
-        ri = wi = 0
-        for out in range(n):  # merge two seq-sorted FIFOs
-            take_read = ri < len(reads) and (
-                wi >= len(writes) or reads[ri].seq < writes[wi].seq
-            )
-            entry = reads[ri] if take_read else writes[wi]
-            if take_read:
-                ri += 1
-            else:
-                wi += 1
-            addr[out] = entry.addr
-            is_write[out] = entry.is_write
-            cycle[out] = entry.arrival
-        return TraceBuffer(addr, is_write, cycle)
+        addr_parts, write_parts, cycle_parts, seq_parts = [], [], [], []
+        for backlog in (self._read_backlog, self._write_backlog):
+            for chunk in backlog.chunks:
+                chunk.ensure_arrays()
+                sl = slice(chunk.start, chunk.n)
+                addr_parts.append(chunk.addr[sl])
+                cycle_parts.append(chunk.arrival[sl])
+                seq_parts.append(chunk.seq[sl])
+                write_parts.append(
+                    np.full(chunk.n - chunk.start, backlog.is_write, dtype=bool)
+                )
+        if not addr_parts:
+            return TraceBuffer(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+        # Both backlogs are seq-sorted FIFOs; sorting the concatenation by
+        # sequence number recovers global enqueue order.
+        order = np.argsort(np.concatenate(seq_parts), kind="stable")
+        return TraceBuffer(
+            np.concatenate(addr_parts)[order],
+            np.concatenate(write_parts)[order],
+            np.concatenate(cycle_parts)[order],
+        )
 
     def adopt_run(self, stats: ControllerStats) -> None:
         """Adopt the result of an externally replayed drain.
@@ -457,6 +662,17 @@ class MemoryController:
             + len(self._read_q)
             + len(self._write_q)
         )
+
+    @property
+    def pristine(self) -> bool:
+        """True until a drain has run (clock at zero, statistics empty).
+
+        A warm controller's next drain continues from its accumulated
+        clock/bank/stats state, so its result is *not* a pure function of
+        ``(config, pending trace)`` — the timing memo must only serve and
+        record drains of pristine controllers.
+        """
+        return self._now == 0 and self.stats == ControllerStats()
 
     def run_to_completion(self) -> ControllerStats:
         """Service every queued request and return the run statistics.
@@ -487,9 +703,9 @@ class MemoryController:
     def _next_arrival(self) -> int:
         candidates = []
         if self._read_backlog:
-            candidates.append(self._read_backlog[0].arrival)
+            candidates.append(self._read_backlog.head_arrival())
         if self._write_backlog:
-            candidates.append(self._write_backlog[0].arrival)
+            candidates.append(self._write_backlog.head_arrival())
         return min(candidates) if candidates else self._now
 
     def _admit(self) -> None:
@@ -501,11 +717,11 @@ class MemoryController:
         now = self._now
         backlog = self._read_backlog
         queue = self._read_q
-        while len(queue) < self.window and backlog and backlog[0].arrival <= now:
+        while len(queue) < self.window and backlog and backlog.head_arrival() <= now:
             queue.append(backlog.popleft())
         backlog = self._write_backlog
         queue = self._write_q
-        while len(queue) < self.write_high and backlog and backlog[0].arrival <= now:
+        while len(queue) < self.write_high and backlog and backlog.head_arrival() <= now:
             queue.append(backlog.popleft())
 
     # -- scheduling ----------------------------------------------------------
@@ -567,7 +783,6 @@ class MemoryController:
         flat_bank = self._flat_bank
         flat_rank = self._flat_rank
         flat_bgflat = self._flat_bgflat
-        bpg = self.organization.banks_per_group
         bg_count = self.organization.bankgroups
         read_backlog = self._read_backlog
         write_backlog = self._write_backlog
@@ -588,6 +803,10 @@ class MemoryController:
         # shares its rank/bus terms, so per-bank work shrinks to one max).
         act_base = [0] * (n_ranks * bg_count)
         col_base = [0] * (n_ranks * bg_count)
+
+        fast_drain = self.fast_drain if self.fast_drain is not None else fast_drain_default()
+        fast_drain = fast_drain and not closed_policy
+        streak_cooldown = 0
 
         now = self._now
         cmd_free = self._cmd_free
@@ -611,12 +830,11 @@ class MemoryController:
         )
         while pending:
             # -- admission --------------------------------------------------
-            while len(read_q) < window and read_backlog and read_backlog[0].arrival <= now:
+            while len(read_q) < window and read_backlog and read_backlog.head_arrival() <= now:
                 entry = read_backlog.popleft()
                 entry.qpos = len(read_q)
                 read_q.append(entry)
-                flat = (entry.rank * bg_count + entry.bankgroup) * bpg + entry.bank
-                entry.flat = flat
+                flat = entry.flat
                 blq = read_banks.get(flat)
                 if blq is None:
                     read_banks[flat] = blq = _BankQueue(
@@ -640,13 +858,12 @@ class MemoryController:
             while (
                 len(write_q) < write_high
                 and write_backlog
-                and write_backlog[0].arrival <= now
+                and write_backlog.head_arrival() <= now
             ):
                 entry = write_backlog.popleft()
                 entry.qpos = len(write_q)
                 write_q.append(entry)
-                flat = (entry.rank * bg_count + entry.bankgroup) * bpg + entry.bank
-                entry.flat = flat
+                flat = entry.flat
                 blq = write_banks.get(flat)
                 if blq is None:
                     write_banks[flat] = blq = _BankQueue(
@@ -671,9 +888,11 @@ class MemoryController:
                 # Nothing admitted: jump to the next arrival.
                 arrival = big
                 if read_backlog:
-                    arrival = read_backlog[0].arrival
-                if write_backlog and write_backlog[0].arrival < arrival:
-                    arrival = write_backlog[0].arrival
+                    arrival = read_backlog.head_arrival()
+                if write_backlog:
+                    w_arrival = write_backlog.head_arrival()
+                    if w_arrival < arrival:
+                        arrival = w_arrival
                 if arrival > now:
                     now = arrival
                 continue
@@ -847,6 +1066,45 @@ class MemoryController:
                 if blq is not None:
                     blq.valid = False
                 continue
+            # -- streak fast path -------------------------------------------
+            # The selected command is a column command.  When the whole
+            # active window is a same-rank row-hit run with no competing
+            # candidate, the upcoming commands issue in sequence order at a
+            # fixed cadence — compile the run and retire it in one step.
+            if fast_drain and streak_cooldown == 0 and len(queue) > 1:
+                streak = self._attempt_streak(
+                    is_write_q,
+                    queue,
+                    banks_map,
+                    write_backlog if is_write_q else read_backlog,
+                    bool(read_q) or bool(read_backlog),
+                    bool(write_backlog),
+                    entry,
+                    when,
+                    now,
+                )
+                if streak is not None:
+                    m, s_hits, s_misses, s_conflicts, s_lat, last_when, s_burst_end = streak
+                    now = last_when
+                    cmd_free = last_when + 1
+                    bus_free = s_burst_end
+                    bus_rank = entry.rank
+                    bus_cycles += m * t_burst
+                    if s_burst_end > finish:
+                        finish = s_burst_end
+                    n_hits += s_hits
+                    n_misses += s_misses
+                    n_conflicts += s_conflicts
+                    if is_write_q:
+                        n_writes += m
+                    else:
+                        n_reads += m
+                        latency_sum += s_lat
+                    pending -= m
+                    continue
+                streak_cooldown = 8  # back off before probing again
+            elif streak_cooldown:
+                streak_cooldown -= 1
             # Column command: the request completes after its data burst.
             burst_end = when + data_offset + t_burst
             bus_free = burst_end
@@ -919,6 +1177,285 @@ class MemoryController:
         stats.read_latency_sum = latency_sum
         stats.finish_cycle = finish if finish > now else now
         return stats
+
+    def _attempt_streak(
+        self,
+        is_write_q: bool,
+        queue: list,
+        banks_map: dict,
+        backlog: _Backlog,
+        reads_pending: bool,
+        write_backlog_pending: bool,
+        entry0: _Entry,
+        when0: int,
+        now: int,
+    ):
+        """Compile a run of row-hit column commands and retire it in one step.
+
+        Called from the fused drain loop after candidate selection picked a
+        column command issuing at ``when0``.  The streak invariants, checked
+        here and proven equivalent to the per-command loop by the parity
+        matrix in ``tests/test_perf_parity.py``:
+
+        * **pure phase** — the run stays in one direction: a read streak
+          requires an empty write backlog (so the drain watermark cannot
+          trip mid-run), a write streak is capped so the queue level stays
+          above ``write_low`` while reads are pending;
+        * **all hits, one rank** — every entry in the active window (and
+          every absorbed backlog record) is a row hit on its bank's open
+          row in rank ``r0``; a miss anywhere is a competing PRE candidate
+          at the command floor, and a second rank perturbs the bus terms;
+        * **sequence-order issue** — with only hit candidates, every
+          not-yet-issued candidate is ready no earlier than
+          ``previous + max(burst, tCCD_S)``; the run is truncated at the
+          first command whose own issue cycle would exceed that cadence
+          (bank warm-up, tCCD_L pressure on adjacent same-bankgroup pairs),
+          except in the single-bank case where no competitor exists and the
+          cadence may stretch freely to ``max(burst, tCCD_L)``;
+        * **window admission** — if the backlog continues with a
+          non-conforming record, the run stops one command before the
+          cycle at which the per-command loop would have admitted it;
+        * **refresh** — the run stops before any rank's ``next_refresh``.
+
+        Returns ``None`` when no streak of at least two commands is provably
+        schedulable (the caller then issues the one selected command), else
+        ``(m, hits, misses, conflicts, latency_delta, last_when,
+        last_burst_end)`` after retiring the ``m`` commands: queue, bank
+        lists, backlog, bank/rank timing state, and request completions are
+        all updated; the caller folds the returned deltas into its local
+        clock/bus/stats state.
+        """
+        if not is_write_q and write_backlog_pending:
+            return None
+        flat_bank = self._flat_bank
+        r0 = entry0.rank
+        entries = sorted(queue, key=lambda e: e.seq)
+        if entries[0] is not entry0:
+            return None  # the oldest queued entry lost the selection
+        for e in entries:
+            if e.rank != r0 or flat_bank[e.flat].open_row != e.row:
+                return None
+        q_n = len(entries)
+        # -- absorb the conforming backlog prefix ---------------------------
+        nflats = len(flat_bank)
+        open_rows = np.fromiter(
+            (b.open_row for b in flat_bank), dtype=np.int64, count=nflats
+        )
+        flat_parts, bg_parts, arr_parts = [], [], []
+        absorbed = 0
+        for chunk in backlog.chunks:
+            room = STREAK_ABSORB_CAP - absorbed
+            if room <= 0:
+                break
+            chunk.ensure_arrays()
+            end = min(chunk.n, chunk.start + room)
+            sl = slice(chunk.start, end)
+            flats_c = chunk.flat[sl]
+            ok = (
+                (chunk.rank[sl] == r0)
+                & (chunk.arrival[sl] <= now)
+                & (chunk.row[sl] == open_rows[flats_c])
+            )
+            if ok.all():
+                k = end - chunk.start
+            else:
+                k = int(np.argmax(~ok))
+            if k:
+                flat_parts.append(flats_c[:k])
+                bg_parts.append(chunk.bankgroup[sl][:k])
+                arr_parts.append(chunk.arrival[sl][:k])
+                absorbed += k
+            if k < end - chunk.start:
+                break
+        total = q_n + absorbed
+        cap = self.write_high if is_write_q else self.window
+        if absorbed < len(backlog):
+            # A non-conforming (or not-yet-scanned) record follows: it is
+            # admitted into the window as soon as the issued count reaches
+            # total - cap + 1, and competes from then on.
+            K = total - cap + 1
+        else:
+            K = total
+        if is_write_q and reads_pending:
+            # Keep the write-queue level above the low watermark so the
+            # drain state cannot flip back to reads mid-run.
+            K = min(K, total - self.write_low)
+        if K < 2:
+            return None
+        K = min(K, total)
+        # -- combined per-command coordinate arrays -------------------------
+        flats_q = np.fromiter((e.flat for e in entries), np.int64, count=q_n)
+        bgs_q = np.fromiter((e.bankgroup for e in entries), np.int64, count=q_n)
+        arr_q = np.fromiter((e.arrival for e in entries), np.int64, count=q_n)
+        acts = np.zeros(total, dtype=bool)
+        pres = np.zeros(total, dtype=bool)
+        for i, e in enumerate(entries):
+            if e.needed_act:
+                acts[i] = True
+            if e.needed_pre:
+                pres[i] = True
+        flats = np.concatenate([flats_q] + flat_parts)[:K]
+        bg = np.concatenate([bgs_q] + bg_parts)[:K]
+        arr = np.concatenate([arr_q] + arr_parts)[:K]
+        acts = acts[:K]
+        pres = pres[:K]
+        # -- issue-cycle recurrence -----------------------------------------
+        timing = self.timing
+        t_burst = self._t_burst
+        ccd_s = timing.ccd_s
+        ccd_l = timing.ccd_l
+        pace = t_burst if t_burst > ccd_s else ccd_s
+        if pace < 1:
+            pace = 1
+        rank = self.ranks[r0]
+        bgc = self.organization.bankgroups
+        ec = np.fromiter(
+            (b.earliest_col for b in flat_bank), dtype=np.int64, count=nflats
+        )
+        static = ec[flats]
+        if is_write_q:
+            pergroup = np.asarray(rank._last_wr_by_group, dtype=np.int64) + ccd_l
+            scalar_floor = rank._last_rd + rank._rd_to_wr
+        else:
+            pergroup = np.maximum(
+                np.asarray(rank._last_rd_by_group, dtype=np.int64) + ccd_l,
+                np.asarray(rank._last_wr_by_group, dtype=np.int64) + rank._wtr_same,
+            )
+            scalar_floor = rank._last_wr + rank._wtr_diff
+        np.maximum(static, pergroup[bg], out=static)
+        np.maximum(static, scalar_floor, out=static)
+        # Single-bank runs have no competing candidate at any step, so the
+        # cadence may stretch to tCCD_L and statics may push freely — but
+        # only if *every* queued entry (including any beyond the streak
+        # prefix) lives in that one bank.
+        flat0 = entry0.flat
+        single_bank = all(e.flat == flat0 for e in entries) and bool(
+            (flats[q_n:] == flat0).all()
+        )
+        if single_bank:
+            step = pace if pace > ccd_l else ccd_l
+            base = np.arange(K, dtype=np.int64) * step
+        else:
+            # tCCD_L binds between same-bankgroup commands closer than
+            # ceil(ccd_l / pace) positions apart; such pairs would stretch
+            # the cadence and let a younger candidate win — truncate there.
+            order = np.argsort(bg, kind="stable")
+            prev = np.full(K, -1, dtype=np.int64)
+            sorted_bg = bg[order]
+            same = sorted_bg[1:] == sorted_bg[:-1]
+            prev[order[1:][same]] = order[:-1][same]
+            gaps = np.arange(K, dtype=np.int64) - prev
+            bad = (prev >= 0) & (gaps * pace < ccd_l)
+            if bad.any():
+                K = int(np.flatnonzero(bad)[0])
+                if K < 2:
+                    return None
+                flats, bg, arr, acts, pres = (
+                    flats[:K], bg[:K], arr[:K], acts[:K], pres[:K]
+                )
+                static = static[:K]
+            base = np.arange(K, dtype=np.int64) * pace
+        adj = static - base
+        if when0 > adj[0]:
+            adj[0] = when0  # when0 already folds every entry-0 constraint in
+        run_max = np.maximum.accumulate(adj)
+        when = base + run_max
+        if not single_bank:
+            # Multi-bank runs must stay strictly linear: any static push
+            # (bank warm-up) opens a window for a younger candidate.
+            push = np.flatnonzero(run_max[1:] > run_max[:-1])
+            if push.size:
+                K = int(push[0]) + 1
+                if K < 2:
+                    return None
+                flats, bg, arr, acts, pres, when = (
+                    flats[:K], bg[:K], arr[:K], acts[:K], pres[:K], when[:K]
+                )
+        # -- refresh bound --------------------------------------------------
+        bound = min(r.next_refresh for r in self.ranks)
+        if when[-1] >= bound:
+            # Command i needs when[i-1] < bound (the per-command loop checks
+            # refresh with now = the previous issue cycle).
+            K = min(K, int(np.searchsorted(when, bound, side="left")) + 1)
+            if K < 2:
+                return None
+            flats, bg, arr, acts, pres, when = (
+                flats[:K], bg[:K], arr[:K], acts[:K], pres[:K], when[:K]
+            )
+        # -- commit ---------------------------------------------------------
+        m = K
+        data_offset = self._t_cwl if is_write_q else self._t_cl
+        last_when = int(when[-1])
+        burst_end = last_when + data_offset + t_burst
+        conflicts = int(np.count_nonzero(pres))
+        misses = int(np.count_nonzero(acts & ~pres))
+        hits = m - conflicts - misses
+        lat_delta = 0
+        if not is_write_q:
+            lat_delta = int(when.sum()) + m * (data_offset + t_burst) - int(arr.sum())
+        last_per_bg = np.full(bgc, -1, dtype=np.int64)
+        np.maximum.at(last_per_bg, bg, when)
+        if is_write_q:
+            per_group_last = rank._last_wr_by_group
+            rank._last_wr = last_when
+            gate = self._t_w2p
+        else:
+            per_group_last = rank._last_rd_by_group
+            rank._last_rd = last_when
+            gate = self._t_rtp
+        for g in np.flatnonzero(last_per_bg >= 0).tolist():
+            per_group_last[g] = int(last_per_bg[g])
+        last_per_flat = np.full(nflats, -1, dtype=np.int64)
+        np.maximum.at(last_per_flat, flats, when)
+        for f in np.flatnonzero(last_per_flat >= 0).tolist():
+            bank = flat_bank[f]
+            ep = int(last_per_flat[f]) + gate
+            if ep > bank.earliest_pre:
+                bank.earliest_pre = ep
+        # Completion write-back for scalar-enqueued requests.
+        n_from_q = q_n if m >= q_n else m
+        tail = data_offset + t_burst
+        for i in range(n_from_q):
+            req = entries[i].request
+            if req is not None:
+                req.completion = int(when[i]) + tail
+        n_from_backlog = m - n_from_q
+        if n_from_backlog:
+            offset = n_from_q
+            remaining = n_from_backlog
+            for chunk in backlog.chunks:
+                take = min(remaining, chunk.n - chunk.start)
+                if chunk.requests is not None:
+                    for j in range(take):
+                        req = chunk.requests[chunk.start + j]
+                        if req is not None:
+                            req.completion = int(when[offset + j]) + tail
+                offset += take
+                remaining -= take
+                if not remaining:
+                    break
+            backlog.consume(n_from_backlog)
+        # -- queue / bank-list maintenance ----------------------------------
+        if n_from_q == q_n:
+            queue.clear()
+            for blq in banks_map.values():
+                if blq.entries:
+                    blq.entries.clear()
+                    blq.valid = False
+        else:
+            keep = entries[n_from_q:]
+            issued_flats = {e.flat for e in entries[:n_from_q]}
+            queue[:] = keep
+            for i, e in enumerate(keep):
+                e.qpos = i
+            for f in issued_flats:
+                blq = banks_map[f]
+                kept = [e for e in keep if e.flat == f]
+                blq.entries[:] = kept
+                for i, e in enumerate(kept):
+                    e.bpos = i
+                blq.valid = False
+        return (m, hits, misses, conflicts, lat_delta, last_when, burst_end)
 
     def _next_command(self, req: _Entry) -> tuple[str, int]:
         """Return the next command for ``req`` and its earliest issue cycle."""

@@ -1,0 +1,127 @@
+"""Cross-layer timing memoization for the cycle-level DRAM core.
+
+A FR-FCFS drain is a pure function of ``(ControllerConfig, trace)``:
+sequence numbers only break ties *relative* to each other, so two equally
+configured controllers draining byte-identical traces produce bit-identical
+:class:`~repro.dram.controller.ControllerStats` (the invariant the parity
+and parallel-determinism suites already pin).  This module caches that
+function.  The key is ``(ControllerConfig, TraceBuffer.digest())`` — the
+digest is a content hash over the trace's address/direction/arrival
+columns, so the cache is *content-addressed* and needs no invalidation:
+a changed trace simply hashes to a different key, and a config change
+(timing grade, refresh scaling, mapping, watermarks…) changes the config
+half of the key.  Entries are evicted FIFO past ``max_entries``.
+
+Consumers:
+
+* :meth:`TensorDimm.execute_timed` / ``execute_timed_batch`` — REDUCE and
+  AVERAGE traces are index-independent (the addresses depend only on the
+  instruction's shape), so the runtime's N-ary combine chains and the
+  figure/ablation sweeps replay byte-identical traces constantly;
+* :meth:`DramSystem.run` — repeated per-channel backlogs;
+* :mod:`repro.parallel` — the parent consults the memo *before* shipping a
+  trace to a worker process, so a hit skips the IPC round trip entirely,
+  and workers keep their own per-process memo for repeats within a batch.
+
+Hits hand back a fresh ``dataclasses.replace`` copy, never the stored
+object, so callers may mutate their stats freely.
+
+Two soundness boundaries, enforced at the consumer sites:
+
+* **pristine controllers only** — a warm controller's next drain
+  continues from its accumulated clock/bank/stats state and is *not* a
+  pure function of the pending trace, so ``DramSystem.run`` gates memo
+  participation (lookup *and* store) on ``MemoryController.pristine``;
+  the TensorDimm and worker-replay paths always reset first.
+* **adopt semantics** — a hit is adopted via ``adopt_run``: observable
+  stats and clock match a real drain exactly, but bank-state warmth
+  (open rows) is not carried over — the same contract the parallel
+  engine's worker replays have always had.
+
+``REPRO_TIMING_CACHE=0`` disables the cache process-wide (the flag is read
+dynamically, so tests and benchmarks can flip it around individual runs);
+:func:`timing_memo_stats` surfaces the hit/miss counters the benchmark
+sweeps record.
+"""
+
+import os
+from collections import OrderedDict
+from dataclasses import replace
+
+from .controller import ControllerConfig, ControllerStats
+
+#: Kill switch: set to ``0`` / ``off`` / ``false`` to disable memoization.
+TIMING_CACHE_ENV_VAR = "REPRO_TIMING_CACHE"
+
+
+def timing_cache_default() -> bool:
+    """The environment-resolved cache default (see ``REPRO_TIMING_CACHE``)."""
+    return os.environ.get(TIMING_CACHE_ENV_VAR, "1").lower() not in ("0", "off", "false")
+
+
+class TimingMemo:
+    """A bounded, content-addressed ``(config, trace digest) -> stats`` map."""
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, ControllerStats] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return timing_cache_default()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, config: ControllerConfig, trace) -> ControllerStats | None:
+        """Cached stats for draining ``trace`` through ``config``, or None.
+
+        ``trace`` is a :class:`~repro.dram.command.TraceBuffer`; a hit
+        returns a fresh copy and counts toward :attr:`hits`, a miss counts
+        toward :attr:`misses`.  Always misses when the cache is disabled.
+        """
+        if not self.enabled:
+            return None
+        stats = self._entries.get((config, trace.digest()))
+        if stats is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return replace(stats)
+
+    def store(self, config: ControllerConfig, trace, stats: ControllerStats) -> None:
+        """Record the drain result (a private copy is stored)."""
+        if not self.enabled:
+            return
+        key = (config, trace.digest())
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)  # FIFO eviction
+        self._entries[key] = replace(stats)
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters (tests, benchmarks)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Counters in the shape the benchmark sweep entries record."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            "entries": len(self._entries),
+        }
+
+
+#: The process-wide memo every consumer shares (workers get their own copy
+#: of the module, hence their own memo, in their own process).
+TIMING_MEMO = TimingMemo()
+
+
+def timing_memo_stats() -> dict:
+    """Hit/miss counters of the process-wide memo (benchmark reporting)."""
+    return TIMING_MEMO.stats()

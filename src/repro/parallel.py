@@ -43,6 +43,7 @@ import numpy as np
 
 from .dram.command import TraceBuffer
 from .dram.controller import ControllerConfig, ControllerStats, MemoryController
+from .dram.memo import TIMING_MEMO
 
 #: Environment variable consulted when no explicit ``jobs=`` is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -173,11 +174,19 @@ def replay_trace(
 
     Also callable in-process — the sequential fallback and the parallel
     path execute literally the same function, which is what makes the
-    bit-identity guarantee easy to audit.
+    bit-identity guarantee easy to audit.  The drain is memoized through
+    the process-local timing cache (each worker owns one), so repeated
+    traces within a fan-out cost a hash lookup.
     """
+    trace = TraceBuffer(addr, is_write, cycle)
+    stats = TIMING_MEMO.lookup(config, trace)
+    if stats is not None:
+        return stats
     controller = _cached_controller(config)
-    controller.enqueue_batch(TraceBuffer(addr, is_write, cycle))
-    return controller.run_to_completion()
+    controller.enqueue_batch(trace)
+    stats = controller.run_to_completion()
+    TIMING_MEMO.store(config, trace, stats)
+    return stats
 
 
 def replay_traces(
@@ -192,6 +201,11 @@ def replay_traces(
     (merging is therefore deterministic at every worker count).  Runs
     in-process when ``jobs`` resolves to 1, there is at most one task, or
     every trace is below the tiny-trace threshold.
+
+    The parent consults the timing memo *before* submitting: a task whose
+    ``(config, trace digest)`` was drained before is answered from the
+    cache and never shipped over IPC at all.  Worker results are stored
+    back into the parent's memo on collection.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -202,12 +216,27 @@ def replay_traces(
             replay_trace(config, trace.addr, trace.is_write, trace.cycle)
             for config, trace in tasks
         ]
+    cached = [TIMING_MEMO.lookup(config, trace) for config, trace in tasks]
+    if all(s is not None for s in cached):
+        return cached
     executor = get_executor(jobs, start_method)
     futures = [
-        executor.submit(replay_trace, config, trace.addr, trace.is_write, trace.cycle)
-        for config, trace in tasks
+        None
+        if hit is not None
+        else executor.submit(
+            replay_trace, config, trace.addr, trace.is_write, trace.cycle
+        )
+        for hit, (config, trace) in zip(cached, tasks)
     ]
-    return [future.result() for future in futures]
+    results = []
+    for hit, future, (config, trace) in zip(cached, futures, tasks):
+        if hit is not None:
+            results.append(hit)
+            continue
+        stats = future.result()
+        TIMING_MEMO.store(config, trace, stats)
+        results.append(stats)
+    return results
 
 
 # -- generic sweep fan-out ----------------------------------------------------

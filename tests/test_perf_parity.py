@@ -293,3 +293,190 @@ class TestIndexBufferCache:
         after = core._read_index_buffer(instr)
         assert not np.array_equal(before, after)
         assert (after == 0).all()
+
+
+def _traffic(name):
+    """Named traffic patterns stressing every streak invariant."""
+    org = DramOrganization()
+    if name == "hot_row":
+        # One bank, one row, cycling columns: the single-bank streak kind.
+        addrs = ((np.arange(3000) % org.columns) << 4) * 64
+        return TraceBuffer(addrs, np.zeros(len(addrs), dtype=bool))
+    if name == "sequential":
+        # Bank-interleaved rotation: the multi-bank streak kind.
+        addrs = np.arange(4000, dtype=np.int64) * 64
+        return TraceBuffer(addrs, np.zeros(len(addrs), dtype=bool))
+    if name == "sequential_writes":
+        addrs = np.arange(4000, dtype=np.int64) * 64
+        return TraceBuffer(addrs, np.ones(len(addrs), dtype=bool))
+    if name == "reduce_shaped":
+        # Two read streams + a write stream: write-drain watermark
+        # crossings and same-bank row alternation.
+        i = np.arange(1500, dtype=np.int64)[:, None]
+        addrs = (np.array([0, 8192, 16384], dtype=np.int64) + i).reshape(-1) * 64
+        return TraceBuffer(addrs, np.tile(np.array([False, False, True]), 1500))
+    if name == "hot_row_mixed":
+        # Hot-row reads with a write stripe: drain flips inside a
+        # streak-friendly pattern.
+        addrs = ((np.arange(3000) % org.columns) << 4) * 64
+        return TraceBuffer(addrs, (np.arange(3000) % 5 == 0))
+    if name == "paced":
+        # Arrival gaps: backlog absorption must respect arrival <= now.
+        n = 2000
+        addrs = ((np.arange(n) % org.columns) << 4) * 64
+        return TraceBuffer(addrs, np.zeros(n, dtype=bool), np.arange(n) * 3)
+    raise ValueError(name)
+
+
+class TestStreakFastPathParity:
+    """The streak-compiled drain must be bit-identical to the scan
+    reference (and to the fast-path-off indexed loop) across the full
+    configuration matrix: row policies, refresh on/off, watermark
+    crossings, multi-rank traffic, and sub-default windows."""
+
+    PATTERNS = [
+        "hot_row", "sequential", "sequential_writes", "reduce_shaped",
+        "hot_row_mixed", "paced",
+    ]
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("row_policy", ["open", "closed"])
+    def test_matches_scan_reference(self, pattern, row_policy):
+        trace = _traffic(pattern)
+        golden = run_scalar_scan(trace, row_policy=row_policy)
+        fast = run_batch_indexed(trace, row_policy=row_policy, fast_drain=True)
+        assert fast == golden
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_fast_on_matches_fast_off(self, pattern):
+        trace = _traffic(pattern)
+        off = run_batch_indexed(trace, fast_drain=False)
+        on = run_batch_indexed(trace, fast_drain=True)
+        assert on == off
+
+    @pytest.mark.parametrize("pattern", ["hot_row", "sequential", "reduce_shaped"])
+    def test_refresh_disabled(self, pattern):
+        trace = _traffic(pattern)
+        golden = run_scalar_scan(trace, refresh_enabled=False)
+        fast = run_batch_indexed(trace, refresh_enabled=False, fast_drain=True)
+        assert fast == golden
+
+    @pytest.mark.parametrize(
+        "watermarks",
+        [
+            {"write_high_watermark": 4, "write_low_watermark": 1},
+            {"write_high_watermark": 16, "write_low_watermark": 12},
+            {"write_high_watermark": 32, "write_low_watermark": 8},
+        ],
+    )
+    def test_watermark_crossings(self, watermarks):
+        trace = _traffic("reduce_shaped")
+        golden = run_scalar_scan(trace, **watermarks)
+        fast = run_batch_indexed(trace, fast_drain=True, **watermarks)
+        assert fast == golden
+
+    @pytest.mark.parametrize("window", [4, 8, 16])
+    def test_sub_default_windows(self, window):
+        for pattern in ("hot_row", "sequential"):
+            trace = _traffic(pattern)
+            golden = run_scalar_scan(trace, window=window)
+            fast = run_batch_indexed(trace, window=window, fast_drain=True)
+            assert fast == golden
+
+    def test_multi_rank_traffic(self):
+        org = DramOrganization(ranks=4)
+        mapping = AddressMapping(org, order=RANK_INTERLEAVED_ORDER)
+        addrs = np.arange(4000, dtype=np.int64) * 64
+        trace = TraceBuffer(addrs, np.zeros(len(addrs), dtype=bool))
+        kw = {"organization": org, "mapping": mapping}
+        golden = run_scalar_scan(trace, **kw)
+        fast = run_batch_indexed(trace, fast_drain=True, **kw)
+        assert fast == golden
+
+    @pytest.mark.parametrize("name", list(OPCODE_CASES))
+    def test_opcode_traces(self, name):
+        core = seeded_core(seed=19)
+        trace = core.trace(OPCODE_CASES[name])
+        golden = run_scalar_scan(trace)
+        fast = run_batch_indexed(trace, fast_drain=True)
+        assert fast == golden
+
+    def test_env_kill_switch(self, monkeypatch):
+        from repro.dram import controller as controller_mod
+
+        monkeypatch.setenv(controller_mod.FAST_DRAIN_ENV_VAR, "0")
+        assert not controller_mod.fast_drain_default()
+        trace = _traffic("hot_row")
+        golden = run_scalar_scan(trace)
+        assert run_batch_indexed(trace) == golden  # fast path off via env
+
+    def test_scalar_enqueue_completions_after_streak(self):
+        # Scalar-enqueued Requests must get completion cycles written even
+        # when the streak compiler retires them straight from the backlog.
+        mc = MemoryController(DDR4_3200, fast_drain=True)
+        requests = [
+            Request(addr=((i % 128) << 4) * 64, is_write=False) for i in range(500)
+        ]
+        for r in requests:
+            mc.enqueue(r)
+        mc.run_to_completion()
+        assert all(r.done for r in requests)
+        ref = MemoryController(DDR4_3200, fast_drain=False)
+        ref_requests = [
+            Request(addr=((i % 128) << 4) * 64, is_write=False) for i in range(500)
+        ]
+        for r in ref_requests:
+            ref.enqueue(r)
+        ref.run_to_completion()
+        assert [r.completion for r in requests] == [r.completion for r in ref_requests]
+
+
+class TestStreakFuzzParity:
+    """Seeded randomized traffic/configuration fuzz: the fast path must
+    match the scan reference on every draw (a bounded version of the
+    exploratory fuzz run while developing the streak compiler)."""
+
+    def _random_case(self, rng):
+        n = int(rng.integers(50, 1200))
+        kind = int(rng.integers(0, 4))
+        if kind == 0:
+            addrs = (rng.integers(0, 128, size=n) << 4) * 64
+        elif kind == 1:
+            addrs = (int(rng.integers(0, 1000)) + np.arange(n)) * 64
+        elif kind == 2:
+            addrs = rng.integers(0, 1 << 14, size=n) * 64
+        else:
+            i = np.arange(n // 3 + 1, dtype=np.int64)[:, None]
+            addrs = (np.array([0, 8192, 16384]) + i).reshape(-1)[:n] * 64
+        wmode = int(rng.integers(0, 3))
+        if wmode == 0:
+            iw = np.zeros(n, dtype=bool)
+        elif wmode == 1:
+            iw = np.ones(n, dtype=bool)
+        else:
+            iw = (np.arange(n) % 3) == 2
+        cyc = (
+            np.zeros(n, dtype=np.int64)
+            if rng.integers(0, 2)
+            else np.cumsum(rng.integers(0, 25, size=n))
+        )
+        window = int(rng.choice([4, 8, 32]))
+        wh = min(int(rng.integers(2, 33)), window)
+        wl = int(rng.integers(1, wh))
+        kw = {
+            "window": window,
+            "write_high_watermark": wh,
+            "write_low_watermark": wl,
+            "row_policy": "closed" if rng.integers(0, 4) == 0 else "open",
+            "refresh_enabled": bool(rng.integers(0, 2)),
+        }
+        return TraceBuffer(addrs, iw, cyc), kw
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fast_matches_scan(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        for _ in range(6):
+            trace, kw = self._random_case(rng)
+            golden = run_scalar_scan(trace, **kw)
+            fast = run_batch_indexed(trace, fast_drain=True, **kw)
+            assert fast == golden, kw

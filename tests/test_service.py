@@ -93,3 +93,134 @@ class TestDesignComparison:
             designs=("TDIMM", "GPU-only"), seed=9,
         )
         assert results["TDIMM"].requests == results["GPU-only"].requests
+
+
+def _scalar_poisson_arrivals(rng, arrival_rate, duration):
+    """The pre-vectorization per-request draw loop, kept as the golden
+    reference for the chunked ``rng.exponential(size=n)`` + ``cumsum``
+    pre-draw."""
+    import numpy as np
+
+    arrivals = []
+    t = 0.0
+    while t < duration:
+        t += rng.exponential(1.0 / arrival_rate)
+        if t < duration:
+            arrivals.append(t)
+    return np.asarray(arrivals)
+
+
+def _assert_stats_identical(a, b):
+    import numpy as np
+
+    assert np.array_equal(a.request_latencies, b.request_latencies)
+    assert np.array_equal(a.batch_sizes, b.batch_sizes)
+    assert a.busy_seconds == b.busy_seconds
+    assert a.span_seconds == b.span_seconds
+
+
+class TestVectorizedArrivalDraw:
+    """The chunked Poisson pre-draw must be bit-identical to the scalar
+    loop: same underlying RNG stream, same left-to-right float summation."""
+
+    @pytest.mark.parametrize("rate,duration", [(500, 0.05), (20000, 0.05), (3000, 0.2)])
+    def test_arrival_times_bit_identical(self, rate, duration):
+        import numpy as np
+
+        from repro.service.simulator import _draw_poisson_arrivals
+
+        fast = _draw_poisson_arrivals(np.random.default_rng(42), rate, duration)
+        golden = _scalar_poisson_arrivals(np.random.default_rng(42), rate, duration)
+        assert np.array_equal(fast, golden)
+
+    def test_empty_window(self):
+        import numpy as np
+
+        from repro.service.simulator import _draw_poisson_arrivals
+
+        assert len(_draw_poisson_arrivals(np.random.default_rng(0), 1000, 0.0)) == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_service_stats_bit_identical_to_scalar_draw(self, seed, monkeypatch):
+        import repro.service.simulator as simulator
+
+        service = InferenceService(YOUTUBE, "TDIMM", ServicePolicy())
+        fast = service.simulate(4000, duration=0.05, seed=seed)
+        monkeypatch.setattr(
+            simulator, "_draw_poisson_arrivals", _scalar_poisson_arrivals
+        )
+        golden = service.simulate(4000, duration=0.05, seed=seed)
+        _assert_stats_identical(fast, golden)
+
+
+class TestDispatchClamp:
+    """Pin the batch-dispatch rule: a full batch leaves as soon as its last
+    request arrives (and the server frees), a partial batch waits for the
+    deadline of its oldest request."""
+
+    def _simulate_with_arrivals(self, arrivals, monkeypatch, **policy):
+        import numpy as np
+
+        import repro.service.simulator as simulator
+
+        monkeypatch.setattr(
+            simulator,
+            "_draw_poisson_arrivals",
+            lambda rng, rate, duration: np.asarray(arrivals, dtype=np.float64),
+        )
+        service = InferenceService(YOUTUBE, "TDIMM", ServicePolicy(**policy))
+        return service, service.simulate(1000, duration=1.0, seed=0)
+
+    def test_full_batch_dispatches_at_last_arrival_not_deadline(self, monkeypatch):
+        # Four arrivals fill max_batch long before the 10 s deadline: the
+        # batch must leave at the last arrival, not wait out max_wait.
+        arrivals = [0.0, 0.001, 0.002, 0.003]
+        service, stats = self._simulate_with_arrivals(
+            arrivals, monkeypatch, max_batch=4, max_wait=10.0
+        )
+        latency = service.batch_latency(4)
+        finish = arrivals[-1] + latency
+        expected = [finish - a for a in arrivals]
+        assert stats.batch_sizes.tolist() == [4]
+        assert stats.request_latencies.tolist() == pytest.approx(expected, abs=0)
+
+    def test_full_batch_at_deadline_edge(self, monkeypatch):
+        # The last request of a full batch lands exactly on the deadline:
+        # dispatch == deadline == last arrival, and the clamp must not
+        # double-count either term.
+        wait = 0.004
+        arrivals = [0.0, 0.001, 0.002, wait]
+        service, stats = self._simulate_with_arrivals(
+            arrivals, monkeypatch, max_batch=4, max_wait=wait
+        )
+        latency = service.batch_latency(4)
+        assert stats.batch_sizes.tolist() == [4]
+        assert stats.request_latencies.tolist()[0] == wait + latency
+        assert stats.span_seconds == wait + latency
+
+    def test_partial_batch_waits_for_deadline(self, monkeypatch):
+        arrivals = [0.0, 0.001]
+        service, stats = self._simulate_with_arrivals(
+            arrivals, monkeypatch, max_batch=4, max_wait=0.01
+        )
+        latency = service.batch_latency(2)
+        assert stats.batch_sizes.tolist() == [2]
+        # dispatch = deadline of the oldest request (0.0 + max_wait)
+        assert stats.request_latencies.tolist()[0] == 0.01 + latency
+
+    def test_busy_server_delays_dispatch_past_deadline(self, monkeypatch):
+        # The second batch's deadline passes while the server is still busy
+        # with the first: dispatch clamps to server_free.
+        wait = 1e-6
+        second = 5e-6
+        arrivals = [0.0, second]
+        service, stats = self._simulate_with_arrivals(
+            arrivals, monkeypatch, max_batch=2, max_wait=wait
+        )
+        latency = service.batch_latency(1)
+        first_finish = wait + latency  # partial batch dispatched at deadline
+        assert second + wait < first_finish  # premise: deadline < server_free
+        assert stats.batch_sizes.tolist() == [1, 1]
+        assert stats.request_latencies.tolist()[1] == pytest.approx(
+            first_finish + latency - second, abs=0
+        )

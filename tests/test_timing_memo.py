@@ -1,0 +1,267 @@
+"""Tests for the cross-layer timing memoization cache.
+
+The memo caches ``(ControllerConfig, trace digest) -> ControllerStats``.
+Correctness rests on the drain being a pure function of that key (the
+parity and parallel-determinism suites pin the purity); these tests pin
+the cache mechanics: keying, copy semantics, eviction, the kill switch,
+and every consumer integration (TensorDimm, DramSystem, the parallel
+replay path).
+
+The suite-wide autouse fixture disables the memo; tests here opt back in
+through the ``timing_memo`` fixture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.isa import gather, reduce
+from repro.core.tensordimm import TensorDimm
+from repro.core.tensornode import TensorNode
+from repro.dram.command import TraceBuffer, TraceRequest
+from repro.dram.controller import MemoryController
+from repro.dram.memo import TIMING_MEMO, TimingMemo, timing_memo_stats
+from repro.dram.system import DramSystem
+from repro.dram.timing import DDR4_3200
+from repro.parallel import replay_traces
+
+
+def _trace(n=600, seed=3):
+    rng = np.random.default_rng(seed)
+    addrs = (rng.integers(0, 1 << 12, size=n) * 64).astype(np.int64)
+    return TraceBuffer(addrs, np.zeros(n, dtype=bool))
+
+
+def _config():
+    return MemoryController(DDR4_3200).snapshot_config()
+
+
+class TestDigest:
+    def test_deterministic(self):
+        a = _trace()
+        b = _trace()
+        assert a.digest() == b.digest()
+
+    def test_sensitive_to_every_column(self):
+        base = _trace()
+        addr2 = base.addr.copy()
+        addr2[0] += 64
+        assert TraceBuffer(addr2, base.is_write, base.cycle).digest() != base.digest()
+        flipped = base.is_write.copy()
+        flipped[0] = True
+        assert TraceBuffer(base.addr, flipped, base.cycle).digest() != base.digest()
+        cycles = base.cycle.copy()
+        cycles[0] = 7
+        assert TraceBuffer(base.addr, base.is_write, cycles).digest() != base.digest()
+
+    def test_cached_on_buffer(self):
+        t = _trace()
+        assert t.digest() is t.digest()
+
+
+class TestTimingMemoMechanics:
+    def test_hit_returns_equal_but_fresh_copy(self, timing_memo):
+        config = _config()
+        trace = _trace()
+        mc = MemoryController(DDR4_3200)
+        mc.enqueue_batch(trace)
+        stats = mc.run_to_completion()
+        timing_memo.store(config, trace, stats)
+        hit = timing_memo.lookup(config, trace)
+        assert hit == stats
+        assert hit is not stats
+        assert timing_memo.lookup(config, trace) is not hit  # fresh per hit
+
+    def test_counters_and_stats(self, timing_memo):
+        config = _config()
+        trace = _trace()
+        assert timing_memo.lookup(config, trace) is None
+        timing_memo.store(config, trace, MemoryController(DDR4_3200).stats)
+        timing_memo.lookup(config, trace)
+        report = timing_memo.stats()
+        assert report["hits"] == 1 and report["misses"] == 1
+        assert report["hit_rate"] == 0.5
+        assert timing_memo_stats()["entries"] == 1
+
+    def test_config_is_part_of_key(self, timing_memo):
+        trace = _trace()
+        open_cfg = MemoryController(DDR4_3200).snapshot_config()
+        closed_cfg = MemoryController(DDR4_3200, row_policy="closed").snapshot_config()
+        timing_memo.store(open_cfg, trace, MemoryController(DDR4_3200).stats)
+        assert timing_memo.lookup(closed_cfg, trace) is None
+
+    def test_kill_switch(self, timing_memo, monkeypatch):
+        from repro.dram.memo import TIMING_CACHE_ENV_VAR
+
+        config = _config()
+        trace = _trace()
+        timing_memo.store(config, trace, MemoryController(DDR4_3200).stats)
+        monkeypatch.setenv(TIMING_CACHE_ENV_VAR, "0")
+        assert timing_memo.lookup(config, trace) is None
+        assert timing_memo.misses == 0  # disabled lookups do not count
+
+    def test_fifo_eviction(self, timing_memo):
+        memo = TimingMemo(max_entries=2)  # enabled via the fixture's env
+        config = _config()
+        stats = MemoryController(DDR4_3200).stats
+        traces = [_trace(seed=s) for s in range(3)]
+        for t in traces:
+            memo.store(config, t, stats)
+        assert len(memo) == 2
+        assert memo.lookup(config, traces[0]) is None  # oldest evicted
+        assert memo.lookup(config, traces[2]) is not None
+
+
+class TestTensorDimmIntegration:
+    def test_second_execute_timed_hits_and_matches(self, timing_memo):
+        dimm = TensorDimm(0, 2, capacity_words=1 << 14)
+        instr = reduce(0, 2 * 2048, 2 * 4096, 400)
+        first = dimm.execute_timed(instr)
+        assert timing_memo.hits == 0
+        second = dimm.execute_timed(instr)
+        assert timing_memo.hits == 1
+        assert second.dram_stats == first.dram_stats
+        assert second.seconds == first.seconds
+
+    def test_hit_is_bit_identical_to_cold_run(self, timing_memo):
+        instr = reduce(0, 2 * 2048, 2 * 4096, 400)
+        warm = TensorDimm(0, 2, capacity_words=1 << 14)
+        warm.execute_timed(instr)
+        served = warm.execute_timed(instr)  # memo hit
+        timing_memo.clear()
+        cold = TensorDimm(0, 2, capacity_words=1 << 14).execute_timed(instr)
+        assert served.dram_stats == cold.dram_stats
+
+    def test_different_instructions_do_not_collide(self, timing_memo):
+        dimm = TensorDimm(0, 2, capacity_words=1 << 14)
+        a = dimm.execute_timed(reduce(0, 2 * 2048, 2 * 4096, 400))
+        b = dimm.execute_timed(reduce(0, 2 * 2048, 2 * 4096, 401))
+        assert timing_memo.hits == 0
+        assert a.dram_stats != b.dram_stats
+
+    def test_gather_keyed_by_index_content(self, timing_memo):
+        dimm = TensorDimm(0, 2, capacity_words=1 << 16)
+        idx = np.arange(100, dtype=np.int32)
+        dimm.write_indices(30000, idx)
+        instr = gather(0, 30000, 2 * 4000, 100, words_per_slice=2)
+        first = dimm.execute_timed(instr)
+        dimm.write_indices(30000, idx[::-1].copy())
+        second = dimm.execute_timed(instr)  # different trace -> miss
+        assert timing_memo.hits == 0
+        assert first.dram_stats.accesses == second.dram_stats.accesses
+
+
+class TestDramSystemIntegration:
+    def _loaded_system(self):
+        system = DramSystem(channels=2)
+        addrs = (np.arange(2000, dtype=np.int64) * 64)
+        system.enqueue_trace(TraceBuffer(addrs, np.zeros(2000, dtype=bool)))
+        return system
+
+    def test_second_run_served_from_cache(self, timing_memo):
+        golden = self._loaded_system().run()
+        # Striping hands both channels byte-identical local traces, so the
+        # second channel already hits the entry the first one stored.
+        assert timing_memo.hits == 1 and timing_memo.misses == 1
+        again = self._loaded_system().run()
+        assert timing_memo.hits == 3  # both channels served from cache
+        assert again.channel_stats == golden.channel_stats
+        assert again.elapsed_seconds == golden.elapsed_seconds
+
+    def test_directly_fed_controller_bypasses_memo(self, timing_memo):
+        self._loaded_system().run()
+        hits_before = timing_memo.hits
+        system = self._loaded_system()
+        # Feed one controller behind the system's back: the mirror no
+        # longer matches, so that channel must drain for real.
+        from repro.dram.command import Request
+
+        system.controllers[0].enqueue(Request(addr=0, is_write=False))
+        result = system.run()
+        assert timing_memo.hits == hits_before + 1  # only the clean channel
+        assert result.channel_stats[0].accesses == 1001
+
+
+class TestParallelIntegration:
+    def test_replay_traces_parent_side_hits(self, timing_memo):
+        config = _config()
+        trace = _trace(n=900)
+        first = replay_traces([(config, trace), (config, trace)], jobs=1)
+        assert first[0] == first[1]
+        assert timing_memo.hits == 1  # second task answered from the memo
+        again = replay_traces([(config, trace)], jobs=1)
+        assert again[0] == first[0]
+
+    def test_broadcast_timed_batch_dedups_identical_dimm_traces(
+        self, timing_memo, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_RECORDS", "0")
+        node = TensorNode(num_dimms=4, capacity_words_per_dimm=1 << 14)
+        instr = reduce(0, 4 * 1024, 4 * 2048, 300)
+        parallel = node.broadcast_timed_batch(
+            [instr], simulate_dimms=None, jobs=2
+        )[0]
+        timing_memo.clear()
+        sequential = TensorNode(
+            num_dimms=4, capacity_words_per_dimm=1 << 14
+        ).broadcast_timed_batch([instr], simulate_dimms=None, jobs=1)[0]
+        assert parallel.dram_per_dimm == sequential.dram_per_dimm
+        assert parallel.seconds == sequential.seconds
+
+
+class TestWarmControllerSoundness:
+    """The memo must only serve/record drains of *pristine* controllers: a
+    warm controller's next drain continues from accumulated clock/stats
+    state and is not a pure function of the pending trace."""
+
+    def _trace(self, n=1000):
+        addrs = np.arange(n, dtype=np.int64) * 64
+        return TraceBuffer(addrs, np.zeros(n, dtype=bool))
+
+    def test_second_run_on_same_system_not_served_stale(self, timing_memo):
+        warm = DramSystem(channels=2)
+        warm.enqueue_trace(self._trace())
+        warm.run()
+        warm.enqueue_trace(self._trace())
+        cached_result = warm.run()  # warm drain: must NOT hit the memo
+        # Reference system with an identical memo history (cleared before
+        # its first run, so both systems adopt/drain the same channels);
+        # its second run drains for real because its controllers are warm.
+        timing_memo.clear()
+        cold = DramSystem(channels=2)
+        cold.enqueue_trace(self._trace())
+        cold.run()
+        cold.enqueue_trace(self._trace())
+        timing_memo.clear()  # force the reference through the real engine
+        golden = cold.run()
+        assert cached_result.channel_stats == golden.channel_stats
+        assert cached_result.elapsed_seconds == golden.elapsed_seconds
+
+    def test_warm_drain_does_not_poison_cache(self, timing_memo):
+        warm = DramSystem(channels=2)
+        warm.enqueue_trace(self._trace())
+        warm.run()
+        warm.enqueue_trace(self._trace())
+        warm.run()  # accumulated stats must not be stored under the trace key
+        fresh = DramSystem(channels=2)
+        fresh.enqueue_trace(self._trace())
+        result = fresh.run()
+        assert all(s.accesses == 500 for s in result.channel_stats)
+
+    def test_pristine_flag(self):
+        mc = MemoryController(DDR4_3200)
+        assert mc.pristine
+        mc.enqueue_batch(_trace(100))
+        assert mc.pristine  # enqueueing alone does not warm it
+        mc.run_to_completion()
+        assert not mc.pristine
+        mc.reset()
+        assert mc.pristine
+
+
+class TestConfigRoundTrip:
+    def test_snapshot_preserves_fast_drain(self):
+        for setting in (True, False, None):
+            mc = MemoryController(DDR4_3200, fast_drain=setting)
+            config = mc.snapshot_config()
+            assert config.fast_drain is setting
+            assert config.build().fast_drain is setting
