@@ -37,13 +37,22 @@ Two families of entries:
   functional execution, no memoization), measured with the fast path
   forced on and forced off.  This is the isolated cost of the drain loop
   itself.
+* ``gather_cold`` / ``reduce_cold`` / ``node_gather_cold`` — **memo-cold**
+  honesty entries: unique indices (or shapes) per instruction and both
+  memo levels disabled, so every instruction pays trace expansion plus a
+  real cycle-level drain.  These track the non-memoized engine across
+  PRs — and are what the CI regression guard (``--check-baseline``)
+  compares against the committed JSON, failing on a >30 % req/s drop.
 
 The ``gather`` / ``reduce`` numbers measure end-to-end ``execute_timed``
-throughput, which from the streak/memo PR onward includes the timing
-memo: the warm-up run populates it and the measured repeats hit it, just
-as repeated instructions do in real sweeps (their per-entry
-``timing_cache`` dict records this).  The pre-vectorization ``baseline``
-column is unchanged for continuity.
+throughput, which from the streak/memo PR onward includes the memo
+layers: the warm-up run populates them and the measured repeats hit the
+*instruction-level* memo (descriptor-keyed, zero trace materialization —
+see ``repro.dram.memo``), just as repeated instructions do in real
+sweeps (the per-entry ``timing_cache`` / ``instruction_memo`` dicts
+record this).  The pre-vectorization ``baseline`` column is unchanged
+for continuity.  The ``node_*`` entries likewise carry a ``warm`` dict:
+repeated-instruction broadcast throughput on a warm instruction memo.
 
 ``--smoke`` shrinks every workload and skips the JSON write — CI uses it
 to prove the benchmark path stays runnable (once with the streak fast
@@ -55,6 +64,7 @@ import json
 import os
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -67,7 +77,12 @@ from repro.core.tensordimm import TensorDimm
 from repro.core.tensornode import TensorNode
 from repro.dram.command import TraceBuffer
 from repro.dram.controller import MemoryController
-from repro.dram.memo import TIMING_MEMO
+from repro.dram.memo import (
+    INSTR_MEMO,
+    INSTR_MEMO_ENV_VAR,
+    TIMING_CACHE_ENV_VAR,
+    TIMING_MEMO,
+)
 from repro.dram.timing import DDR4_3200
 from repro.parallel import get_executor, parallel_map, resolve_jobs
 
@@ -79,6 +94,47 @@ BASELINE = {
 }
 
 REPEATS = 3  # best-of, to shrug off scheduler noise
+
+#: Entries the CI regression guard compares against the committed JSON.
+COLD_WORKLOADS = ("gather_cold", "reduce_cold", "node_gather_cold")
+
+#: Allowed cold-path req/s regression before --check-baseline fails.
+DEFAULT_TOLERANCE = 0.30
+
+
+def _clear_memos() -> None:
+    TIMING_MEMO.clear()
+    INSTR_MEMO.clear()
+
+
+def _memo_dicts() -> tuple[dict, dict]:
+    """(timing_cache, instruction_memo) counter dicts for an entry."""
+    trace = TIMING_MEMO.stats()
+    instr = INSTR_MEMO.stats()
+    keys = ("hits", "misses", "hit_rate", "evictions", "resident_bytes")
+    return (
+        {k: trace[k] for k in keys},
+        {k: instr[k] for k in keys},
+    )
+
+
+@contextmanager
+def _caches_disabled():
+    """Both memo levels forced off (the cold-path measurement harness)."""
+    saved = {
+        var: os.environ.get(var)
+        for var in (TIMING_CACHE_ENV_VAR, INSTR_MEMO_ENV_VAR)
+    }
+    os.environ[TIMING_CACHE_ENV_VAR] = "0"
+    os.environ[INSTR_MEMO_ENV_VAR] = "0"
+    try:
+        yield
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
 
 
 def bench_gather(lookups=2000, wps=4, seed=7):
@@ -103,6 +159,93 @@ def bench_reduce(count=4000):
 
 
 WORKLOADS = {"gather": bench_gather, "reduce": bench_reduce}
+
+
+# -- memo-cold workloads (unique work per instruction, caches disabled) -------
+
+def bench_gather_cold(instructions=4, lookups=1000, wps=4, seed=23):
+    """Memo-cold GATHER: fresh random indices per instruction.
+
+    Every instruction reads a distinct index buffer, so no two traces are
+    alike; with both memo levels disabled each ``execute_timed`` pays
+    descriptor expansion plus a full cycle-level drain — the honest cost
+    of the non-memoized engine.
+    """
+    rng = np.random.default_rng(seed)
+    dimm = TensorDimm(0, 2, capacity_words=1 << 18)
+    index_words = -(-lookups // 16)
+    instrs = []
+    for k in range(instructions):
+        base = 150_000 + k * index_words
+        dimm.write_indices(base, rng.integers(0, 4096, size=lookups).astype(np.int32))
+        instrs.append(gather(0, base, 2 * 60000, lookups, words_per_slice=wps))
+    with _caches_disabled():
+        t0 = time.perf_counter()
+        timed = [dimm.execute_timed(i) for i in instrs]
+        seconds = time.perf_counter() - t0
+    return sum(t.dram_stats.accesses for t in timed), seconds
+
+
+def bench_reduce_cold(instructions=4, count=3000):
+    """Memo-cold REDUCE: a distinct word count per instruction."""
+    dimm = TensorDimm(0, 2, capacity_words=1 << 18)
+    instrs = [reduce(0, 2 * 8192, 2 * 16384, count + k) for k in range(instructions)]
+    with _caches_disabled():
+        t0 = time.perf_counter()
+        timed = [dimm.execute_timed(i) for i in instrs]
+        seconds = time.perf_counter() - t0
+    return sum(t.dram_stats.accesses for t in timed), seconds
+
+
+def bench_node_gather_cold(instructions=3, dimms=4, lookups=300, seed=29):
+    """Memo-cold multi-DIMM GATHER: every DIMM drains every instruction."""
+    rng = np.random.default_rng(seed)
+    node = TensorNode(num_dimms=dimms, capacity_words_per_dimm=1 << 18)
+    table = node.alloc_tensor("table", 4096, dimms * 4 * 16)
+    instrs = []
+    for k in range(instructions):
+        idx = rng.integers(0, 4096, size=lookups).astype(np.int32)
+        alloc = node.alloc_indices(f"idx{k}", lookups)
+        node.write_indices(alloc, idx)
+        out = node.alloc_tensor(f"out{k}", lookups, table.embedding_dim)
+        instrs.append(
+            gather(
+                table.base_word, alloc.base_word, out.base_word, lookups,
+                table.words_per_slice,
+            )
+        )
+    with _caches_disabled():
+        t0 = time.perf_counter()
+        stats = [
+            node.broadcast_timed(i, simulate_dimms=None, jobs=1) for i in instrs
+        ]
+        seconds = time.perf_counter() - t0
+    requests = sum(s.accesses for st in stats for s in st.dram_per_dimm)
+    return requests, seconds
+
+
+def _cold_entry(name, fn, smoke: bool, **kwargs) -> dict:
+    """Measure a memo-cold workload (best-of like the warm entries).
+
+    Best-of-REPEATS even in smoke mode: the cold entries feed the CI
+    regression guard, and a single noisy sample on a shared runner must
+    not fail (or vacuously pass) the build.
+    """
+    fn(**kwargs)  # warmup: allocations, numpy caches (memos stay cold by design)
+    best = None
+    for _ in range(REPEATS):
+        requests, seconds = fn(**kwargs)
+        if best is None or seconds < best[1]:
+            best = (requests, seconds)
+    requests, seconds = best
+    return {
+        "workload": name,
+        "instructions": kwargs.get("instructions", 4),
+        "requests": requests,
+        "wall_seconds": round(seconds, 4),
+        "req_per_sec": round(requests / seconds, 1),
+        "caches_disabled": True,
+    }
 
 
 def bench_drain_hot_row(fast_drain: bool, n=150_000):
@@ -179,15 +322,52 @@ def bench_node_gather(jobs, dimms=8, lookups=1500, seed=11):
     return requests, seconds, stats
 
 
+def _node_reduce_instr(dimms: int, count: int):
+    """A multi-DIMM binary REDUCE on a fresh TensorNode."""
+    node = TensorNode(num_dimms=dimms, capacity_words_per_dimm=1 << 18)
+    return node, reduce(0, dimms * 8192, dimms * 16384, count)
+
+
 def bench_node_reduce(jobs, dimms=8, count=3000):
     """Multi-DIMM binary REDUCE across the whole pool."""
-    node = TensorNode(num_dimms=dimms, capacity_words_per_dimm=1 << 18)
-    instr = reduce(0, dimms * 8192, dimms * 16384, count)
+    node, instr = _node_reduce_instr(dimms, count)
     t0 = time.perf_counter()
     stats = node.broadcast_timed(instr, simulate_dimms=None, jobs=jobs)
     seconds = time.perf_counter() - t0
     requests = sum(s.accesses for s in stats.dram_per_dimm)
     return requests, seconds, stats
+
+
+def _warm_node_measurement(setup, **kwargs) -> dict:
+    """Repeated-instruction broadcast throughput on a warm instruction memo.
+
+    One cold broadcast populates the descriptor-keyed memo; the measured
+    repeats then serve every DIMM's drain symbolically — no trace arrays
+    built, nothing bulk hashed.  This is the steady state of a serving
+    loop re-issuing the same kernel, and the number the descriptor PR is
+    accountable for (vs the cold ``node_*`` sequential figures).
+    """
+    node, instr = setup(**kwargs)
+    _clear_memos()
+    golden = node.broadcast_timed(instr, simulate_dimms=None, jobs=1)
+    best = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        stats = node.broadcast_timed(instr, simulate_dimms=None, jobs=1)
+        seconds = time.perf_counter() - t0
+        assert stats.dram_per_dimm == golden.dram_per_dimm, (
+            "warm broadcast diverged from the cold drain — memo unsound"
+        )
+        if best is None or seconds < best:
+            best = seconds
+    requests = sum(s.accesses for s in golden.dram_per_dimm)
+    _, instr_memo = _memo_dicts()
+    return {
+        "requests": requests,
+        "wall_seconds": round(best, 4),
+        "req_per_sec": round(requests / best, 1),
+        "instruction_memo": instr_memo,
+    }
 
 
 SWEEP_POINTS = [
@@ -208,23 +388,23 @@ def bench_sweep(jobs, points=None):
 def _parallel_entry(name, fn, jobs, **kwargs):
     """Measure ``fn`` at jobs=1 and jobs=N; assert bit-identical results.
 
-    The timing memo is cleared before each mode so neither measurement is
-    served from the other's cache (the bit-identity assertion must keep
-    exercising the real engine); the recorded ``timing_cache`` counters
-    are therefore the *intra-run* hit rate of the parallel measurement —
-    identical per-DIMM traces deduplicating inside one broadcast, repeated
-    design points, and so on.
+    Both memo levels are cleared before each mode so neither measurement
+    is served from the other's cache (the bit-identity assertion must keep
+    exercising the real engine); the recorded ``timing_cache`` /
+    ``instruction_memo`` counters are therefore the *intra-run* hit rates
+    of the parallel measurement — identical per-DIMM descriptors
+    deduplicating inside one broadcast, repeated design points, and so on.
     """
-    TIMING_MEMO.clear()
+    _clear_memos()
     count_seq, seq_seconds, result_seq = fn(1, **kwargs)
     if jobs > 1:
         # Warm the pool so worker startup is not billed to the workload
         # (real sweeps amortize it across the whole run).
         get_executor(jobs)
         parallel_map(_noop, [0, 1], jobs=jobs)
-    TIMING_MEMO.clear()
+    _clear_memos()
     count_par, par_seconds, result_par = fn(jobs, **kwargs)
-    cache = TIMING_MEMO.stats()
+    cache, instr_cache = _memo_dicts()
     assert count_par == count_seq, f"{name}: workload drifted across modes"
     assert result_par == result_seq, (
         f"{name}: parallel results diverged from sequential — "
@@ -243,11 +423,8 @@ def _parallel_entry(name, fn, jobs, **kwargs):
         },
         "speedup": round(seq_seconds / par_seconds, 2),
         "identical": True,
-        "timing_cache": {
-            "hits": cache["hits"],
-            "misses": cache["misses"],
-            "hit_rate": cache["hit_rate"],
-        },
+        "timing_cache": cache,
+        "instruction_memo": instr_cache,
     }
 
 
@@ -255,19 +432,27 @@ def _noop(x):
     return x
 
 
+def _node_gather_setup(dimms=8, lookups=1500, seed=11):
+    return _node_gather_instr(dimms, lookups, seed)
+
+
+def _node_reduce_setup(dimms=8, count=3000):
+    return _node_reduce_instr(dimms, count)
+
+
 def run(jobs: int | None = None, smoke: bool = False) -> dict:
     jobs = resolve_jobs(jobs)
     entries = []
     for name, fn in WORKLOADS.items():
-        TIMING_MEMO.clear()
-        fn()  # warmup (allocations, numpy caches, timing memo)
+        _clear_memos()
+        fn()  # warmup (allocations, numpy caches, both memo levels)
         best = None
         for _ in range(1 if smoke else REPEATS):
             requests, seconds = fn()
             if best is None or seconds < best[1]:
                 best = (requests, seconds)
         requests, seconds = best
-        cache = TIMING_MEMO.stats()
+        cache, instr_cache = _memo_dicts()
         baseline = BASELINE[name]
         assert requests == baseline["requests"], (
             f"{name}: workload drifted ({requests} requests vs "
@@ -281,25 +466,61 @@ def run(jobs: int | None = None, smoke: bool = False) -> dict:
                 "req_per_sec": round(requests / seconds, 1),
                 "baseline": baseline,
                 "speedup": round((requests / seconds) / baseline["req_per_sec"], 2),
-                "timing_cache": {
-                    "hits": cache["hits"],
-                    "misses": cache["misses"],
-                    "hit_rate": cache["hit_rate"],
-                },
+                "timing_cache": cache,
+                "instruction_memo": instr_cache,
             }
         )
     entries.append(_drain_hot_row_entry(smoke))
     node_kwargs = {"dimms": 4, "lookups": 200} if smoke else {}
     reduce_kwargs = {"dimms": 4, "count": 400} if smoke else {}
     sweep_kwargs = {"points": SWEEP_POINTS[:2]} if smoke else {}
-    entries.append(_parallel_entry("node_gather", bench_node_gather, jobs, **node_kwargs))
-    entries.append(_parallel_entry("node_reduce", bench_node_reduce, jobs, **reduce_kwargs))
+    node_gather = _parallel_entry("node_gather", bench_node_gather, jobs, **node_kwargs)
+    node_gather["warm"] = _warm_node_measurement(_node_gather_setup, **node_kwargs)
+    entries.append(node_gather)
+    node_reduce = _parallel_entry("node_reduce", bench_node_reduce, jobs, **reduce_kwargs)
+    node_reduce["warm"] = _warm_node_measurement(_node_reduce_setup, **reduce_kwargs)
+    entries.append(node_reduce)
     sweep = _parallel_entry("sweep_fig11", bench_sweep, jobs, **sweep_kwargs)
     # The sweep's unit of work is a grid point, not a DRAM request.
     sweep["points"] = sweep.pop("requests")
     sweep["points_per_sec"] = sweep.pop("req_per_sec")
     entries.append(sweep)
+    # Memo-cold honesty entries: the non-memoized engine's trajectory.
+    cold_gather_kwargs = {"instructions": 2} if smoke else {"instructions": 4}
+    cold_reduce_kwargs = {"instructions": 2} if smoke else {"instructions": 4}
+    cold_node_kwargs = {"instructions": 2} if smoke else {"instructions": 3}
+    entries.append(_cold_entry("gather_cold", bench_gather_cold, smoke, **cold_gather_kwargs))
+    entries.append(_cold_entry("reduce_cold", bench_reduce_cold, smoke, **cold_reduce_kwargs))
+    entries.append(
+        _cold_entry("node_gather_cold", bench_node_gather_cold, smoke, **cold_node_kwargs)
+    )
     return {"entries": entries, "host_cpus": os.cpu_count()}
+
+
+def check_baseline(report: dict, baseline_path: Path, tolerance: float) -> list[str]:
+    """Cold-path regression guard: compare req/s against the committed JSON.
+
+    Only the memo-cold entries participate — they measure the real engine
+    per instruction (same per-instruction shapes in smoke mode, just fewer
+    repeats), so their req/s is host-comparable.  Returns a list of
+    human-readable failures (empty = within tolerance).
+    """
+    committed = json.loads(Path(baseline_path).read_text())
+    by_name = {e["workload"]: e for e in committed["entries"]}
+    failures = []
+    for entry in report["entries"]:
+        name = entry["workload"]
+        base = by_name.get(name)
+        if name not in COLD_WORKLOADS or base is None:
+            continue
+        floor = base["req_per_sec"] * (1.0 - tolerance)
+        if entry["req_per_sec"] < floor:
+            failures.append(
+                f"{name}: {entry['req_per_sec']:,.0f} req/s is more than "
+                f"{tolerance:.0%} below the committed "
+                f"{base['req_per_sec']:,.0f} req/s"
+            )
+    return failures
 
 
 def main(argv=None) -> None:
@@ -313,36 +534,70 @@ def main(argv=None) -> None:
         "--smoke", action="store_true",
         help="tiny workloads, no JSON write (CI smoke test)",
     )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="fail (exit 1) if a memo-cold entry regresses more than "
+        "$REPRO_BENCH_TOLERANCE (default 30%%) below the committed "
+        "BENCH_perf.json",
+    )
     args = parser.parse_args(argv)
     report = run(jobs=args.jobs, smoke=args.smoke)
     for entry in report["entries"]:
         if "baseline" in entry:
-            cache = entry["timing_cache"]
+            cache = entry["instruction_memo"]
             print(
-                f"{entry['workload']:>13}: {entry['requests']} requests in "
+                f"{entry['workload']:>16}: {entry['requests']} requests in "
                 f"{entry['wall_seconds']:.3f}s = {entry['req_per_sec']:,.0f} req/s "
                 f"({entry['speedup']:.2f}x over pre-PR baseline, "
-                f"cache hit rate {cache['hit_rate']:.2f})"
+                f"instr-memo hit rate {cache['hit_rate']:.2f})"
             )
         elif entry["workload"] == "drain_hot_row":
             print(
-                f"{entry['workload']:>13}: {entry['requests']} requests, "
+                f"{entry['workload']:>16}: {entry['requests']} requests, "
                 f"fast-path on {entry['fast_on']['wall_seconds']:.3f}s "
                 f"({entry['fast_on']['req_per_sec']:,.0f} req/s) vs off "
                 f"{entry['fast_off']['wall_seconds']:.3f}s = "
                 f"{entry['speedup']:.2f}x (bit-identical: {entry['identical']})"
             )
+        elif entry.get("caches_disabled"):
+            print(
+                f"{entry['workload']:>16}: {entry['requests']} requests over "
+                f"{entry['instructions']} unique instructions in "
+                f"{entry['wall_seconds']:.3f}s = {entry['req_per_sec']:,.0f} req/s "
+                f"(memo-cold)"
+            )
         else:
             unit = "points" if "points" in entry else "requests"
             count = entry.get("points", entry.get("requests"))
-            cache = entry["timing_cache"]
-            print(
-                f"{entry['workload']:>13}: {count} {unit}, sequential "
+            # Intra-run dedup happens at the instruction level now; the
+            # trace-level counters remain for descriptor-less consumers.
+            cache = entry["instruction_memo"]
+            line = (
+                f"{entry['workload']:>16}: {count} {unit}, sequential "
                 f"{entry['sequential']['wall_seconds']:.3f}s vs jobs={entry['jobs']} "
                 f"{entry['wall_seconds']:.3f}s = {entry['speedup']:.2f}x "
                 f"(bit-identical: {entry['identical']}, "
-                f"cache hit rate {cache['hit_rate']:.2f})"
+                f"instr-memo hit rate {cache['hit_rate']:.2f})"
             )
+            warm = entry.get("warm")
+            if warm:
+                line += (
+                    f"; warm repeat {warm['wall_seconds']:.4f}s = "
+                    f"{warm['req_per_sec']:,.0f} req/s"
+                )
+            print(line)
+    if args.check_baseline:
+        baseline_path = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+        try:
+            tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+        except ValueError:
+            tolerance = DEFAULT_TOLERANCE
+        failures = check_baseline(report, baseline_path, tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            sys.exit(1)
+        print(f"baseline check passed (tolerance {tolerance:.0%})")
     if args.smoke:
         print("smoke mode: JSON not written")
         return

@@ -15,6 +15,7 @@ The functional semantics follow the pseudo code of Fig. 9 exactly, with the
 ``64 * node_dim`` bytes (see :mod:`repro.core.isa`).
 """
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -28,7 +29,7 @@ from ..config import (
     NMP_ALU_LANES,
     NMP_QUEUE_DELAY_S,
 )
-from ..dram.command import TraceBuffer
+from ..dram.command import TraceBuffer, TraceDescriptor
 from ..dram.storage import WordStorage
 from .isa import Instruction, Opcode, ReduceOp
 
@@ -191,6 +192,79 @@ def trace_records(instr: Instruction) -> int:
     raise ValueError(f"unknown opcode {instr.opcode}")
 
 
+def expand(descriptor: TraceDescriptor, indices: np.ndarray | None = None) -> TraceBuffer:
+    """Materialize the DRAM trace a :class:`TraceDescriptor` stands for.
+
+    Pure module-level inverse of :meth:`NmpCore.describe`: given the
+    descriptor and — for GATHER/UPDATE — the instruction's index array,
+    rebuilds the columnar trace array-identically to
+    :meth:`NmpCore.trace` (the golden reference; the fuzz parity suite
+    pins the equivalence across every opcode and shape).  Workers of the
+    parallel engine call this to expand shipped descriptors locally, so
+    IPC payloads stay O(count) instead of O(trace records).
+    """
+    word = ACCESS_GRANULARITY
+    opcode = Opcode(descriptor.opcode)
+    count = descriptor.count
+    wps = descriptor.words_per_slice
+    if opcode in (Opcode.GATHER, Opcode.UPDATE):
+        if indices is None:
+            raise ValueError(f"{opcode.name} descriptors expand from an index array")
+        rows = np.asarray(indices).astype(np.int64)
+        if rows.shape != (count,):
+            raise ValueError(
+                f"descriptor expects {count} indices, got shape {rows.shape}"
+            )
+    if opcode == Opcode.GATHER:
+        table_local, index_base, out_local = descriptor.bases
+        index_words = -(-count // ELEMS_PER_WORD)
+        idx_addrs = index_base + np.arange(index_words, dtype=np.int64)
+        offsets = np.arange(wps, dtype=np.int64)
+        src = (table_local + rows * wps)[:, None] + offsets
+        dst = (out_local + np.arange(len(rows), dtype=np.int64) * wps)[:, None] + offsets
+        body = np.concatenate([src, dst], axis=1).reshape(-1)
+        addrs = np.concatenate([idx_addrs, body])
+        is_write = np.concatenate(
+            [
+                np.zeros(index_words, dtype=bool),
+                np.tile(np.repeat([False, True], wps), len(rows)),
+            ]
+        )
+        return TraceBuffer(addrs * word, is_write)
+    if opcode == Opcode.REDUCE:
+        in1, in2, out = descriptor.bases
+        i = np.arange(count, dtype=np.int64)[:, None]
+        addrs = (np.array([in1, in2, out], dtype=np.int64) + i).reshape(-1)
+        is_write = np.tile(np.array([False, False, True]), count)
+        return TraceBuffer(addrs * word, is_write)
+    if opcode == Opcode.AVERAGE:
+        src_base, out = descriptor.bases
+        group = descriptor.average_num
+        i = np.arange(count, dtype=np.int64)
+        row, k = i // wps, i % wps
+        reads = src_base + ((row * group)[:, None] + np.arange(group, dtype=np.int64)) * wps + k[:, None]
+        addrs = np.concatenate([reads, (out + i)[:, None]], axis=1).reshape(-1)
+        is_write = np.tile(np.append(np.zeros(group, dtype=bool), True), count)
+        return TraceBuffer(addrs * word, is_write)
+    if opcode == Opcode.UPDATE:
+        grad_local, table_local, index_base = descriptor.bases
+        index_words = -(-count // ELEMS_PER_WORD)
+        idx_addrs = index_base + np.arange(index_words, dtype=np.int64)
+        offsets = np.arange(wps, dtype=np.int64)
+        grad = (grad_local + np.arange(len(rows), dtype=np.int64) * wps)[:, None] + offsets
+        target = (table_local + rows * wps)[:, None] + offsets
+        body = np.stack([grad, target, target], axis=2).reshape(-1)
+        addrs = np.concatenate([idx_addrs, body])
+        is_write = np.concatenate(
+            [
+                np.zeros(index_words, dtype=bool),
+                np.tile(np.array([False, False, True]), len(rows) * wps),
+            ]
+        )
+        return TraceBuffer(addrs * word, is_write)
+    raise ValueError(f"unknown opcode {descriptor.opcode}")
+
+
 class NmpCore:
     """One TensorDIMM's near-memory core: decode + execute + trace."""
 
@@ -208,6 +282,9 @@ class NmpCore:
         # instruction both read the replicated index buffer; the second read
         # is served from here as long as the storage has not been written.
         self._index_cache: tuple[tuple[int, int], int, np.ndarray] | None = None
+        # One-slot index-content digest cache, same invalidation rule:
+        # describe() of a repeated GATHER/UPDATE hashes the indices once.
+        self._digest_cache: tuple[tuple[int, int], int, bytes] | None = None
 
     # -- address helpers ------------------------------------------------------
 
@@ -364,6 +441,95 @@ class NmpCore:
             alu_cycles=instr.count * wps,
         )
 
+    # -- symbolic trace description ---------------------------------------------
+
+    def _index_digest(self, instr: Instruction) -> bytes:
+        """Content digest of the instruction's index array (cached).
+
+        O(index bytes) — 4 B per lookup — which is the whole point: the
+        descriptor key for an index-driven instruction costs a hash over
+        the indices, never over the O(records) trace columns.
+        """
+        key = (instr.index_base, instr.count)
+        cached = self._digest_cache
+        if cached is not None and cached[0] == key and cached[1] == self.storage.version:
+            return cached[2]
+        indices = self._read_index_buffer(instr)
+        digest = hashlib.blake2b(indices.tobytes(), digest_size=16).digest()
+        self._digest_cache = (key, self.storage.version, digest)
+        return digest
+
+    def instruction_indices(self, instr: Instruction) -> np.ndarray | None:
+        """The index array an instruction's trace depends on (None if none).
+
+        GATHER and UPDATE traces are functions of the index *contents*;
+        REDUCE and AVERAGE are index-free.  This is what rides along with a
+        shipped descriptor so a worker can :func:`expand` it locally.
+        """
+        if instr.opcode in (Opcode.GATHER, Opcode.UPDATE):
+            return self._read_index_buffer(instr)
+        return None
+
+    def describe(self, instr: Instruction) -> TraceDescriptor:
+        """Symbolic descriptor of the trace :meth:`trace` would build.
+
+        Cheap by construction: no trace arrays are materialized and
+        nothing O(records) is hashed — O(1) for REDUCE/AVERAGE, O(index
+        bytes) for GATHER/UPDATE (the index-content digest).  Equal
+        descriptors expand (:func:`expand`) to byte-identical traces, so
+        ``(ControllerConfig, descriptor)`` keys the instruction-level
+        timing memo.  Fields that cannot affect the trace are normalized
+        out of the key (REDUCE ignores ``words_per_slice``; ``subop``
+        never appears — it changes ALU semantics, not DRAM traffic).
+        """
+        if instr.opcode == Opcode.GATHER:
+            return TraceDescriptor(
+                opcode=int(Opcode.GATHER),
+                count=instr.count,
+                words_per_slice=instr.words_per_slice,
+                bases=(
+                    self._local_base(instr.table_base),
+                    instr.index_base,
+                    self._local_base(instr.output_base),
+                ),
+                index_digest=self._index_digest(instr),
+            )
+        if instr.opcode == Opcode.REDUCE:
+            return TraceDescriptor(
+                opcode=int(Opcode.REDUCE),
+                count=instr.count,
+                words_per_slice=1,  # REDUCE traces are wps-independent
+                bases=(
+                    self._local_base(instr.input_base),
+                    self._local_base(instr.aux),
+                    self._local_base(instr.output_base),
+                ),
+            )
+        if instr.opcode == Opcode.AVERAGE:
+            return TraceDescriptor(
+                opcode=int(Opcode.AVERAGE),
+                count=instr.count,
+                words_per_slice=instr.words_per_slice,
+                bases=(
+                    self._local_base(instr.input_base),
+                    self._local_base(instr.output_base),
+                ),
+                average_num=instr.average_num,
+            )
+        if instr.opcode == Opcode.UPDATE:
+            return TraceDescriptor(
+                opcode=int(Opcode.UPDATE),
+                count=instr.count,
+                words_per_slice=instr.words_per_slice,
+                bases=(
+                    self._local_base(instr.input_base),
+                    self._local_base(instr.output_base),
+                    instr.index_base,
+                ),
+                index_digest=self._index_digest(instr),
+            )
+        raise ValueError(f"unknown opcode {instr.opcode}")
+
     # -- trace generation ---------------------------------------------------------
 
     def trace(self, instr: Instruction) -> TraceBuffer:
@@ -371,6 +537,12 @@ class NmpCore:
         program order, as a columnar 64 B byte-address trace for the timing
         model.  Addresses are built with whole-array arithmetic; the record
         order is identical to the original per-word expansion.
+
+        This is the golden reference for the symbolic pipeline:
+        ``expand(describe(instr), instruction_indices(instr))`` must be
+        array-identical to ``trace(instr)`` (pinned by the fuzz parity
+        suite), and the timed paths only build traces through it when the
+        instruction memo misses or is disabled.
         """
         word = ACCESS_GRANULARITY
         if instr.opcode == Opcode.GATHER:

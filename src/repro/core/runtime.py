@@ -78,6 +78,24 @@ class TensorDimmRuntime:
         """Node-side time across every launch so far."""
         return sum(launch.seconds for launch in self.launches)
 
+    @staticmethod
+    def memo_stats() -> dict:
+        """Hit/miss counters of both timing-memo levels (cycle mode).
+
+        The runtime's combine chains are the canonical instruction-memo
+        consumer: an N-ary combine lowers to N-1 REDUCE instructions whose
+        traces depend only on shape and bases, so after the first drain
+        every repeat is an instruction-level hit — no trace is built, no
+        bulk array hashed (see :mod:`repro.dram.memo`).  Sweeps record
+        these counters alongside their results.
+        """
+        from ..dram.memo import instr_memo_stats, timing_memo_stats
+
+        return {
+            "instruction": instr_memo_stats(),
+            "trace": timing_memo_stats(),
+        }
+
     def _fresh_name(self, prefix: str) -> str:
         self._scratch_counter += 1
         return f"{prefix}#{self._scratch_counter}"
@@ -172,7 +190,10 @@ class TensorDimmRuntime:
 
         ``((t0 op t1) op t2) op ...`` — N-ary reduction lowers to N-1
         REDUCE instructions, exactly how the runtime of Section 4.4 issues
-        them (the ISA's REDUCE is binary, Fig. 8).
+        them (the ISA's REDUCE is binary, Fig. 8).  In cycle mode a
+        re-issued chain (same shapes and bases — the steady state of a
+        serving loop) is served symbolically by the instruction-level
+        timing memo: no link materializes or hashes a trace.
         """
         if len(tensors) < 2:
             raise ValueError("combine needs at least two tensors")

@@ -19,11 +19,11 @@ import numpy as np
 from ..config import ACCESS_GRANULARITY
 from ..dram.controller import ControllerConfig, ControllerStats, MemoryController
 from ..dram.mapping import AddressMapping, DramOrganization
-from ..dram.memo import TIMING_MEMO
+from ..dram.memo import INSTR_MEMO, TIMING_MEMO
 from ..dram.storage import WordStorage
 from ..dram.timing import DDR4_3200, DramTiming
 from .isa import Instruction
-from .nmp_core import NmpCore, NmpExecStats
+from .nmp_core import NmpCore, NmpExecStats, expand
 
 
 @dataclass
@@ -132,22 +132,44 @@ class TensorDimm:
         trace is enqueued in one batch, and the controller is a reused
         (reset) instance, so back-to-back instructions pay no setup.
 
-        The drain is memoized through the process-wide timing cache
-        (:mod:`repro.dram.memo`): a byte-identical trace against the same
-        controller configuration — e.g. the index-independent REDUCE /
-        AVERAGE traces the runtime's combine chains replay — skips the
-        cycle-level simulation entirely and reuses the cached
-        :class:`ControllerStats`, which is bit-identical by construction.
+        The drain is memoized through the two process-wide cache levels of
+        :mod:`repro.dram.memo`.  The instruction-level memo is consulted
+        first with a symbolic :class:`~repro.dram.command.TraceDescriptor`
+        — a hit (e.g. the repeated REDUCE / AVERAGE instructions the
+        runtime's combine chains replay, or a GATHER re-issued with the
+        same index contents) skips trace construction *and* bulk-array
+        hashing entirely.  On a miss the trace is expanded from the
+        descriptor, the trace-level memo gets a shot, and the cycle-level
+        drain runs only if both levels miss; the resulting
+        :class:`ControllerStats` are bit-identical at every level by
+        construction (``REPRO_INSTR_MEMO=0`` forces the trace-built
+        pipeline, which the descriptor parity tests compare against).
         """
-        trace = self.nmp.trace(instr)
-        stats = self.execute(instr)
         config = self.timed_controller_config(refresh_enabled)
-        dram_stats = TIMING_MEMO.lookup(config, trace)
+        descriptor = None
+        dram_stats = None
+        if INSTR_MEMO.enabled:
+            # Describe (and, below, expand) before execute(): the trace is
+            # defined against pre-execution storage contents, exactly like
+            # the trace-then-execute order of the classic path.
+            descriptor = self.nmp.describe(instr)
+            dram_stats = INSTR_MEMO.lookup(config, descriptor)
         if dram_stats is None:
-            controller = self._timed_controller(refresh_enabled)
-            controller.enqueue_batch(trace)
-            dram_stats = controller.run_to_completion()
-            TIMING_MEMO.store(config, trace, dram_stats)
+            if descriptor is not None:
+                trace = expand(descriptor, self.nmp.instruction_indices(instr))
+            else:
+                trace = self.nmp.trace(instr)
+            stats = self.execute(instr)
+            dram_stats = TIMING_MEMO.lookup(config, trace)
+            if dram_stats is None:
+                controller = self._timed_controller(refresh_enabled)
+                controller.enqueue_batch(trace)
+                dram_stats = controller.run_to_completion()
+                TIMING_MEMO.store(config, trace, dram_stats)
+            if descriptor is not None:
+                INSTR_MEMO.store(config, descriptor, dram_stats)
+        else:
+            stats = self.execute(instr)
         dram_seconds = self.timing.cycles_to_seconds(dram_stats.finish_cycle)
         alu_seconds = stats.alu_seconds(self.nmp.alu.clock_hz)
         return TimedExecution(

@@ -244,19 +244,27 @@ class TensorNode:
         path's — trace, then execute, instruction by instruction — so
         functional state, exec stats, and DRAM stats are all bit-identical.
 
-        Traces are deduplicated before shipping: a ``(config, digest)``
-        already answered by the timing memo is served from the cache, and
-        one already in flight in this batch (the rank-interleaved layout
-        gives every DIMM an identical local stream) shares the same worker
-        result instead of being pickled again — a digest hit means the
-        trace never crosses the IPC boundary at all.
+        Work is deduplicated *symbolically* before anything is built: each
+        (instruction, DIMM) pair is described as a compact
+        :class:`~repro.dram.command.TraceDescriptor`, the instruction-level
+        memo is consulted first (a hit skips trace construction, hashing,
+        and IPC entirely), and a descriptor already in flight in this batch
+        (the rank-interleaved layout gives every DIMM an identical local
+        stream) shares the same worker result instead of being shipped
+        again.  Misses cross the IPC boundary as ``(config, descriptor[,
+        indices])`` — O(count) bytes — and the worker expands the trace
+        locally (:func:`repro.parallel.replay_descriptor`).  With the
+        instruction memo disabled (``REPRO_INSTR_MEMO=0``) the classic
+        trace-shipping path runs instead, deduplicated by content digest
+        through the trace-level memo.
         """
         from dataclasses import replace
 
-        from ..dram.memo import TIMING_MEMO
-        from ..parallel import get_executor, replay_trace
+        from ..dram.memo import INSTR_MEMO, TIMING_MEMO
+        from ..parallel import get_executor, replay_descriptor, replay_trace
 
         executor = get_executor(jobs)
+        use_descriptors = INSTR_MEMO.enabled
         configs = [
             dimm.timed_controller_config(refresh_enabled)
             for dimm in self.dimms[:limit]
@@ -267,8 +275,27 @@ class TensorNode:
             self.instructions_executed += 1
             futures = []
             for i in range(limit):
-                trace = self.dimms[i].nmp.trace(instr)
+                nmp = self.dimms[i].nmp
                 config = configs[i]
+                if use_descriptors:
+                    descriptor = nmp.describe(instr)
+                    cached = INSTR_MEMO.lookup(config, descriptor)
+                    if cached is not None:
+                        futures.append(cached)
+                        continue
+                    key = (config, descriptor)
+                    future = inflight.get(key)
+                    if future is None:
+                        future = executor.submit(
+                            replay_descriptor,
+                            config,
+                            descriptor,
+                            nmp.instruction_indices(instr),
+                        )
+                        inflight[key] = future
+                    futures.append((future, config, descriptor))
+                    continue
+                trace = nmp.trace(instr)
                 cached = TIMING_MEMO.lookup(config, trace)
                 if cached is not None:
                     futures.append(cached)
@@ -285,15 +312,22 @@ class TensorNode:
             per_dimm = [dimm.execute(instr) for dimm in self.dimms]
             plans.append((futures, per_dimm))
         results = []
+        stored = set()  # store each shared worker result once, not per DIMM
         for futures, per_dimm in plans:
             dram_per_dimm = []
             for item in futures:
                 if isinstance(item, ControllerStats):
                     dram_per_dimm.append(item)
                     continue
-                future, config, trace = item
+                future, config, key = item
                 stats = future.result()
-                TIMING_MEMO.store(config, trace, stats)
+                memo_key = (config, key) if use_descriptors else (config, key.digest())
+                if memo_key not in stored:
+                    stored.add(memo_key)
+                    if use_descriptors:
+                        INSTR_MEMO.store(config, key, stats)
+                    else:
+                        TIMING_MEMO.store(config, key, stats)
                 # Each DIMM gets its own stats object even when the worker
                 # result is shared (deduplicated identical traces).
                 dram_per_dimm.append(replace(stats))

@@ -90,6 +90,44 @@ class TraceRequest:
     is_write: bool
 
 
+@dataclass(frozen=True)
+class TraceDescriptor:
+    """A compact, hashable symbolic description of an instruction's trace.
+
+    An NMP instruction's DRAM trace is a pure function of its shape
+    (opcode, count, words per slice, the DIMM-local base addresses) plus —
+    for index-driven opcodes — the *contents* of its index buffer.  The
+    descriptor captures exactly that: a few integers and, where the trace
+    depends on index values, a content digest of the index array.  Two
+    instructions with equal descriptors expand to byte-identical
+    :class:`TraceBuffer` traces, so ``(ControllerConfig, TraceDescriptor)``
+    keys the instruction-level timing memo (:mod:`repro.dram.memo`)
+    without ever materializing or hashing the trace arrays — O(index
+    bytes) for index-driven opcodes, O(1) for the rest.
+
+    Fields are deliberately opcode-agnostic at this layer (``opcode`` is
+    the raw :class:`~repro.core.isa.Opcode` integer and ``bases`` an
+    opcode-specific tuple of local word addresses); interpretation lives
+    in :func:`repro.core.nmp_core.expand`, the pure inverse that rebuilds
+    the trace.  ``index_digest`` is ``None`` for opcodes whose trace is
+    index-independent; :attr:`needs_indices` tells the parallel engine
+    whether the raw index array must ride along when a descriptor is
+    shipped to a worker for expansion.
+    """
+
+    opcode: int
+    count: int
+    words_per_slice: int
+    bases: tuple
+    average_num: int = 0
+    index_digest: bytes | None = None
+
+    @property
+    def needs_indices(self) -> bool:
+        """True when expanding this descriptor requires the index array."""
+        return self.index_digest is not None
+
+
 class TraceBuffer:
     """A columnar memory trace: parallel numpy arrays instead of objects.
 
@@ -109,7 +147,15 @@ class TraceBuffer:
 
     __slots__ = ("addr", "is_write", "cycle", "_digest")
 
+    #: Process-wide materialization counters.  The instruction-level memo's
+    #: contract is that a hit performs *zero* trace construction and *zero*
+    #: bulk-array hashing; tests pin that claim by snapshotting these around
+    #: the hit path.  Class attributes, so ``__slots__`` instances share them.
+    constructions = 0
+    digests_computed = 0
+
     def __init__(self, addr, is_write, cycle=None):
+        TraceBuffer.constructions += 1
         self.addr = np.ascontiguousarray(addr, dtype=np.int64)
         if self.addr.ndim != 1:
             raise ValueError("addr must be a 1-D array")
@@ -140,6 +186,7 @@ class TraceBuffer:
         computed once and cached on the buffer — traces are treated as
         immutable once handed to the timing model."""
         if self._digest is None:
+            TraceBuffer.digests_computed += 1
             h = hashlib.blake2b(digest_size=16)
             h.update(len(self).to_bytes(8, "little"))
             h.update(self.addr.tobytes())

@@ -11,6 +11,13 @@ This module fans them out across a persistent pool of worker processes:
   plus a :class:`~repro.dram.controller.ControllerConfig` snapshot.  Each
   worker rebuilds the controller **once per distinct config** and keeps it
   cached (reset between traces), so steady-state calls ship only arrays.
+* **Descriptor replay** (:func:`replay_descriptor`): instruction-shaped
+  drains ship a symbolic :class:`~repro.dram.command.TraceDescriptor`
+  (plus the raw index array only when the opcode's trace depends on index
+  contents) and the worker expands the trace locally
+  (:func:`repro.core.nmp_core.expand`) — the IPC payload collapses from
+  O(trace records) to O(count) or O(1).  This is the miss path of the
+  instruction-level timing memo; see :mod:`repro.dram.memo`.
   Because FR-FCFS age tie-breaks are relative, a worker-side replay is
   bit-identical to draining the original controller in-process; callers
   (`DramSystem.run`, `TensorNode.broadcast_timed*`) merge the returned
@@ -41,9 +48,9 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from .dram.command import TraceBuffer
+from .dram.command import TraceBuffer, TraceDescriptor
 from .dram.controller import ControllerConfig, ControllerStats, MemoryController
-from .dram.memo import TIMING_MEMO
+from .dram.memo import INSTR_MEMO, TIMING_MEMO
 
 #: Environment variable consulted when no explicit ``jobs=`` is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -186,6 +193,39 @@ def replay_trace(
     controller.enqueue_batch(trace)
     stats = controller.run_to_completion()
     TIMING_MEMO.store(config, trace, stats)
+    return stats
+
+
+def replay_descriptor(
+    config: ControllerConfig,
+    descriptor: TraceDescriptor,
+    indices: np.ndarray | None = None,
+) -> ControllerStats:
+    """Expand a symbolic descriptor and drain it; runs in a worker.
+
+    The worker-side twin of the instruction-level memo's miss path: the
+    parent ships ``(config, descriptor[, indices])`` — O(count) bytes at
+    most — and the trace is materialized here, in the process that will
+    drain it.  Both worker-local memo levels participate: a repeated
+    descriptor within a fan-out costs one dict lookup, and the expanded
+    trace is stored under its content digest too, so descriptor- and
+    trace-shipped replays of the same traffic share one drain per worker.
+    Also callable in-process, which keeps the sequential fallback and the
+    parallel path literally the same function (the bit-identity argument).
+    """
+    from .core.nmp_core import expand
+
+    stats = INSTR_MEMO.lookup(config, descriptor)
+    if stats is not None:
+        return stats
+    trace = expand(descriptor, indices)
+    stats = TIMING_MEMO.lookup(config, trace)
+    if stats is None:
+        controller = _cached_controller(config)
+        controller.enqueue_batch(trace)
+        stats = controller.run_to_completion()
+        TIMING_MEMO.store(config, trace, stats)
+    INSTR_MEMO.store(config, descriptor, stats)
     return stats
 
 

@@ -226,6 +226,15 @@ class InferenceService:
         Requests queue; a batch dispatches when it reaches ``max_batch`` or
         when its oldest request has waited ``max_wait``; the server runs one
         batch at a time.
+
+        The event loop walks the (sorted) arrival array one *batch* at a
+        time: each batch's admission boundary — the last arrival at or
+        before ``max(head + max_wait, server_free)``, capped at
+        ``max_batch`` — is found with a single ``searchsorted`` instead of
+        a per-request Python scan.  The admitted set, dispatch rule, and
+        float arithmetic are exactly the scalar loop's, so the resulting
+        :class:`ServiceStats` are bit-identical (pinned in
+        ``tests/test_service.py`` against the retained scalar reference).
         """
         if arrival_rate <= 0:
             raise ValueError("arrival rate must be positive")
@@ -234,40 +243,40 @@ class InferenceService:
         stats = ServiceStats()
         if not len(arrivals):
             return stats
-        arrivals = arrivals.tolist()  # the event loop indexes scalars
+        arrivals = np.ascontiguousarray(arrivals, dtype=np.float64)
+        n = arrivals.shape[0]
+        max_batch = self.policy.max_batch
+        max_wait = self.policy.max_wait
 
-        queue: list[float] = []  # arrival times of waiting requests
         server_free = 0.0
         i = 0
         finish_last = 0.0
-        while i < len(arrivals) or queue:
-            if not queue:
-                queue.append(arrivals[i])
-                i += 1
-            # Admit everything that arrives before the batch must dispatch.
-            deadline = queue[0] + self.policy.max_wait
-            while (
-                i < len(arrivals)
-                and len(queue) < self.policy.max_batch
-                and arrivals[i] <= max(deadline, server_free)
-            ):
-                queue.append(arrivals[i])
-                i += 1
-            batch = queue[: self.policy.max_batch]
-            del queue[: len(batch)]
+        while i < n:
+            # The batch head is always admitted; everything arriving before
+            # the batch must dispatch — and fitting under max_batch — joins.
+            head = float(arrivals[i])
+            deadline = head + max_wait
+            limit = deadline if deadline >= server_free else server_free
+            end = int(np.searchsorted(arrivals, limit, side="right"))
+            if end > i + max_batch:
+                end = i + max_batch
+            batch = arrivals[i:end]
+            size = end - i
+            last = float(batch[-1])
             # A full batch dispatches as soon as its last request is in; a
             # partial one waits for its deadline.  Either way the server
             # must be free and the last request must have arrived.
-            if len(batch) < self.policy.max_batch:
-                dispatch = max(server_free, batch[-1], deadline)
+            if size < max_batch:
+                dispatch = max(server_free, last, deadline)
             else:
-                dispatch = max(server_free, batch[-1])
-            service = self.batch_latency(len(batch))
+                dispatch = max(server_free, last)
+            service = self.batch_latency(size)
             finish = dispatch + service
             server_free = finish
             finish_last = finish
             stats.busy_seconds += service
-            stats.record_batch(len(batch), finish - np.asarray(batch))
+            stats.record_batch(size, finish - batch)
+            i = end
         stats.span_seconds = finish_last
         return stats
 

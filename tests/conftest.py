@@ -4,31 +4,48 @@ import numpy as np
 import pytest
 
 from repro.core import TensorDimmRuntime, TensorNode
-from repro.dram.memo import TIMING_CACHE_ENV_VAR, TIMING_MEMO
+from repro.dram.memo import (
+    INSTR_MEMO,
+    INSTR_MEMO_ENV_VAR,
+    TIMING_CACHE_ENV_VAR,
+    TIMING_MEMO,
+)
 
 
 @pytest.fixture(autouse=True)
 def _isolate_timing_memo(monkeypatch):
-    """Disable the cross-layer timing memo for every test by default.
+    """Disable both timing-memo levels for every test by default.
 
     The determinism suites compare sequential against parallel (and fast
     against reference) runs; a warm memo would let the second run
     short-circuit and the comparison would stop testing anything.  Tests
-    that exercise the memo itself re-enable it via ``timing_memo``.
+    that exercise a memo itself re-enable it via ``timing_memo`` /
+    ``instr_memo``.
     """
     monkeypatch.setenv(TIMING_CACHE_ENV_VAR, "0")
+    monkeypatch.setenv(INSTR_MEMO_ENV_VAR, "0")
     TIMING_MEMO.clear()
+    INSTR_MEMO.clear()
     yield
     TIMING_MEMO.clear()
+    INSTR_MEMO.clear()
 
 
 @pytest.fixture
 def timing_memo(monkeypatch):
-    """An enabled, empty process-wide timing memo (overrides the autouse
-    default for tests that target the cache)."""
+    """An enabled, empty process-wide trace-level memo (overrides the
+    autouse default for tests that target the cache)."""
     monkeypatch.setenv(TIMING_CACHE_ENV_VAR, "1")
     TIMING_MEMO.clear()
     return TIMING_MEMO
+
+
+@pytest.fixture
+def instr_memo(monkeypatch):
+    """An enabled, empty process-wide instruction-level memo."""
+    monkeypatch.setenv(INSTR_MEMO_ENV_VAR, "1")
+    INSTR_MEMO.clear()
+    return INSTR_MEMO
 
 
 @pytest.fixture

@@ -208,3 +208,56 @@ class TestAblations:
     def test_open_page_wins_for_streaming(self):
         result = ablation.page_policy(num_words=3000)
         assert result.open_advantage > 1.5
+
+
+def _load_bench_perf():
+    """Import benchmarks/bench_perf.py by path (it is not a package)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_perf.py"
+    spec = importlib.util.spec_from_file_location("_bench_perf_under_test", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchPerfBaselineGuard:
+    """The CI regression guard: memo-cold req/s vs the committed JSON."""
+
+    def _committed(self, tmp_path):
+        import json
+
+        committed = {
+            "entries": [
+                {"workload": "gather_cold", "req_per_sec": 100_000.0},
+                {"workload": "node_gather", "req_per_sec": 500_000.0},
+            ]
+        }
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(committed))
+        return path
+
+    def test_within_tolerance_passes(self, tmp_path):
+        bp = _load_bench_perf()
+        report = {"entries": [{"workload": "gather_cold", "req_per_sec": 80_000.0}]}
+        assert bp.check_baseline(report, self._committed(tmp_path), 0.30) == []
+
+    def test_cold_regression_fails(self, tmp_path):
+        bp = _load_bench_perf()
+        report = {"entries": [{"workload": "gather_cold", "req_per_sec": 60_000.0}]}
+        failures = bp.check_baseline(report, self._committed(tmp_path), 0.30)
+        assert len(failures) == 1
+        assert "gather_cold" in failures[0]
+
+    def test_only_cold_entries_participate(self, tmp_path):
+        # node_gather (a warm/parallel entry) regressing must not fail the
+        # guard — its number depends on host CPU count and memo state.
+        bp = _load_bench_perf()
+        report = {"entries": [{"workload": "node_gather", "req_per_sec": 1.0}]}
+        assert bp.check_baseline(report, self._committed(tmp_path), 0.30) == []
+
+    def test_entries_missing_from_committed_are_ignored(self, tmp_path):
+        bp = _load_bench_perf()
+        report = {"entries": [{"workload": "reduce_cold", "req_per_sec": 1.0}]}
+        assert bp.check_baseline(report, self._committed(tmp_path), 0.30) == []

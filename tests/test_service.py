@@ -153,6 +153,83 @@ class TestVectorizedArrivalDraw:
         _assert_stats_identical(fast, golden)
 
 
+def _simulate_scalar_event_loop(service, arrival_rate, duration, seed):
+    """The pre-vectorization per-request admission loop, kept as the golden
+    reference for the ``searchsorted`` batch-boundary scan."""
+    import numpy as np
+
+    from repro.service.simulator import ServiceStats, _draw_poisson_arrivals
+
+    if arrival_rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = _draw_poisson_arrivals(rng, arrival_rate, duration)
+    stats = ServiceStats()
+    if not len(arrivals):
+        return stats
+    arrivals = arrivals.tolist()
+
+    queue = []
+    server_free = 0.0
+    i = 0
+    finish_last = 0.0
+    while i < len(arrivals) or queue:
+        if not queue:
+            queue.append(arrivals[i])
+            i += 1
+        deadline = queue[0] + service.policy.max_wait
+        while (
+            i < len(arrivals)
+            and len(queue) < service.policy.max_batch
+            and arrivals[i] <= max(deadline, server_free)
+        ):
+            queue.append(arrivals[i])
+            i += 1
+        batch = queue[: service.policy.max_batch]
+        del queue[: len(batch)]
+        if len(batch) < service.policy.max_batch:
+            dispatch = max(server_free, batch[-1], deadline)
+        else:
+            dispatch = max(server_free, batch[-1])
+        svc = service.batch_latency(len(batch))
+        finish = dispatch + svc
+        server_free = finish
+        finish_last = finish
+        stats.busy_seconds += svc
+        stats.record_batch(len(batch), finish - np.asarray(batch))
+    stats.span_seconds = finish_last
+    return stats
+
+
+class TestVectorizedAdmissionScan:
+    """The searchsorted batch-boundary scan must admit exactly the requests
+    the per-request while-loop admitted, with bit-identical ServiceStats."""
+
+    @pytest.mark.parametrize(
+        "rate,duration,policy",
+        [
+            (500, 0.05, {}),  # light load: partial batches, deadline-bound
+            (20000, 0.05, {}),  # heavy load: full batches back to back
+            (200_000, 0.03, {}),  # saturation: server_free dominates admission
+            (3000, 0.1, {"max_batch": 1}),  # degenerate single-request batches
+            (8000, 0.05, {"max_batch": 16, "max_wait": 0.0}),  # zero wait
+            (2000, 0.05, {"max_wait": 10.0}),  # deadline never binds
+        ],
+    )
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_bit_identical_to_scalar_loop(self, rate, duration, policy, seed):
+        service = InferenceService(YOUTUBE, "TDIMM", ServicePolicy(**policy))
+        fast = service.simulate(rate, duration=duration, seed=seed)
+        golden = _simulate_scalar_event_loop(service, rate, duration, seed)
+        _assert_stats_identical(fast, golden)
+
+    def test_cpu_design_saturated_identical(self):
+        service = InferenceService(FACEBOOK, "CPU-only", ServicePolicy())
+        fast = service.simulate(100_000, duration=0.02, seed=11)
+        golden = _simulate_scalar_event_loop(service, 100_000, 0.02, 11)
+        _assert_stats_identical(fast, golden)
+
+
 class TestDispatchClamp:
     """Pin the batch-dispatch rule: a full batch leaves as soon as its last
     request arrives (and the server frees), a partial batch waits for the

@@ -1,14 +1,16 @@
-"""Tests for the cross-layer timing memoization cache.
+"""Tests for the cross-layer timing memoization caches.
 
-The memo caches ``(ControllerConfig, trace digest) -> ControllerStats``.
-Correctness rests on the drain being a pure function of that key (the
-parity and parallel-determinism suites pin the purity); these tests pin
-the cache mechanics: keying, copy semantics, eviction, the kill switch,
-and every consumer integration (TensorDimm, DramSystem, the parallel
-replay path).
+Two levels (see :mod:`repro.dram.memo`): the trace memo keyed by
+``(ControllerConfig, trace digest)`` and the instruction memo keyed by
+``(ControllerConfig, TraceDescriptor)``.  Correctness rests on the drain
+being a pure function of those keys (the parity, determinism, and
+descriptor-expansion suites pin the purity); these tests pin the cache
+mechanics: keying, copy semantics, LRU + byte-cap eviction, the kill
+switches, and every consumer integration (TensorDimm, DramSystem, the
+parallel trace- and descriptor-replay paths).
 
-The suite-wide autouse fixture disables the memo; tests here opt back in
-through the ``timing_memo`` fixture.
+The suite-wide autouse fixture disables both memos; tests here opt back
+in through the ``timing_memo`` / ``instr_memo`` fixtures.
 """
 
 import numpy as np
@@ -19,10 +21,17 @@ from repro.core.tensordimm import TensorDimm
 from repro.core.tensornode import TensorNode
 from repro.dram.command import TraceBuffer, TraceRequest
 from repro.dram.controller import MemoryController
-from repro.dram.memo import TIMING_MEMO, TimingMemo, timing_memo_stats
+from repro.dram.memo import (
+    INSTR_MEMO,
+    TIMING_MEMO,
+    InstructionMemo,
+    TimingMemo,
+    instr_memo_stats,
+    timing_memo_stats,
+)
 from repro.dram.system import DramSystem
 from repro.dram.timing import DDR4_3200
-from repro.parallel import replay_traces
+from repro.parallel import replay_descriptor, replay_traces
 
 
 def _trace(n=600, seed=3):
@@ -99,16 +108,46 @@ class TestTimingMemoMechanics:
         assert timing_memo.lookup(config, trace) is None
         assert timing_memo.misses == 0  # disabled lookups do not count
 
-    def test_fifo_eviction(self, timing_memo):
+    def test_lru_eviction_prefers_stale_entries(self, timing_memo):
         memo = TimingMemo(max_entries=2)  # enabled via the fixture's env
         config = _config()
         stats = MemoryController(DDR4_3200).stats
         traces = [_trace(seed=s) for s in range(3)]
-        for t in traces:
-            memo.store(config, t, stats)
+        memo.store(config, traces[0], stats)
+        memo.store(config, traces[1], stats)
+        assert memo.lookup(config, traces[0]) is not None  # refresh recency
+        memo.store(config, traces[2], stats)  # evicts trace 1, not trace 0
         assert len(memo) == 2
-        assert memo.lookup(config, traces[0]) is None  # oldest evicted
-        assert memo.lookup(config, traces[2]) is not None
+        assert memo.lookup(config, traces[1]) is None
+        assert memo.lookup(config, traces[0]) is not None
+        assert memo.evictions == 1
+
+    def test_byte_cap_evicts_and_accounts(self, timing_memo):
+        config = _config()
+        stats = MemoryController(DDR4_3200).stats
+        probe = TimingMemo(max_entries=64)
+        probe.store(config, _trace(seed=0), stats)
+        per_entry = probe.resident_bytes
+        assert per_entry > 0
+        memo = TimingMemo(max_entries=64, max_bytes=per_entry * 2)
+        for s in range(3):
+            memo.store(config, _trace(seed=s), stats)
+        assert len(memo) == 2  # third store pushed the first out by bytes
+        assert memo.resident_bytes == per_entry * 2
+        assert memo.evictions == 1
+        report = memo.stats()
+        assert report["evictions"] == 1
+        assert report["resident_bytes"] == memo.resident_bytes
+
+    def test_restore_same_key_does_not_double_count_bytes(self, timing_memo):
+        config = _config()
+        stats = MemoryController(DDR4_3200).stats
+        memo = TimingMemo()
+        memo.store(config, _trace(), stats)
+        once = memo.resident_bytes
+        memo.store(config, _trace(), stats)
+        assert memo.resident_bytes == once
+        assert len(memo) == 1
 
 
 class TestTensorDimmIntegration:
@@ -265,3 +304,112 @@ class TestConfigRoundTrip:
             config = mc.snapshot_config()
             assert config.fast_drain is setting
             assert config.build().fast_drain is setting
+
+
+def _described_reduce(count=300, dimms=2):
+    dimm = TensorDimm(0, dimms, capacity_words=1 << 14)
+    instr = reduce(0, dimms * 2048, dimms * 4096, count)
+    return dimm, instr, dimm.nmp.describe(instr)
+
+
+class TestInstructionMemoMechanics:
+    def test_hit_returns_equal_but_fresh_copy(self, instr_memo):
+        dimm, instr, descriptor = _described_reduce()
+        config = dimm.timed_controller_config(True)
+        stats = MemoryController(DDR4_3200).stats
+        instr_memo.store(config, descriptor, stats)
+        hit = instr_memo.lookup(config, descriptor)
+        assert hit == stats and hit is not stats
+        assert instr_memo.lookup(config, descriptor) is not hit
+
+    def test_counters_and_stats(self, instr_memo):
+        dimm, instr, descriptor = _described_reduce()
+        config = dimm.timed_controller_config(True)
+        assert instr_memo.lookup(config, descriptor) is None
+        instr_memo.store(config, descriptor, MemoryController(DDR4_3200).stats)
+        instr_memo.lookup(config, descriptor)
+        report = instr_memo_stats()
+        assert report["hits"] == 1 and report["misses"] == 1
+        assert report["entries"] == 1
+        assert report["resident_bytes"] > 0
+
+    def test_config_is_part_of_key(self, instr_memo):
+        _, _, descriptor = _described_reduce()
+        open_cfg = MemoryController(DDR4_3200).snapshot_config()
+        closed_cfg = MemoryController(DDR4_3200, row_policy="closed").snapshot_config()
+        instr_memo.store(open_cfg, descriptor, MemoryController(DDR4_3200).stats)
+        assert instr_memo.lookup(closed_cfg, descriptor) is None
+
+    def test_kill_switch(self, instr_memo, monkeypatch):
+        from repro.dram.memo import INSTR_MEMO_ENV_VAR
+
+        dimm, instr, descriptor = _described_reduce()
+        config = dimm.timed_controller_config(True)
+        instr_memo.store(config, descriptor, MemoryController(DDR4_3200).stats)
+        monkeypatch.setenv(INSTR_MEMO_ENV_VAR, "0")
+        assert instr_memo.lookup(config, descriptor) is None
+        assert instr_memo.misses == 0  # disabled lookups do not count
+
+    def test_lru_on_hit(self, instr_memo):
+        memo = InstructionMemo(max_entries=2)
+        config = MemoryController(DDR4_3200).snapshot_config()
+        stats = MemoryController(DDR4_3200).stats
+        descriptors = [_described_reduce(count=c)[2] for c in (10, 20, 30)]
+        memo.store(config, descriptors[0], stats)
+        memo.store(config, descriptors[1], stats)
+        assert memo.lookup(config, descriptors[0]) is not None
+        memo.store(config, descriptors[2], stats)
+        assert memo.lookup(config, descriptors[1]) is None
+        assert memo.lookup(config, descriptors[0]) is not None
+
+    def test_layers_are_independent(self, instr_memo, timing_memo):
+        """A miss populates both levels; clearing one leaves the other."""
+        dimm, instr, descriptor = _described_reduce()
+        dimm.execute_timed(instr)
+        assert len(instr_memo) == 1 and len(timing_memo) == 1
+        timing_memo.clear()
+        second = dimm.execute_timed(instr)  # served at the instruction level
+        assert instr_memo.hits == 1
+        assert timing_memo.hits == 0 and timing_memo.misses == 0
+        assert second.dram_stats.accesses == 900
+
+
+class TestDescriptorReplay:
+    def test_replay_descriptor_matches_trace_replay(self, instr_memo):
+        dimm, instr, descriptor = _described_reduce(count=400)
+        config = dimm.timed_controller_config(True)
+        trace = dimm.nmp.trace(instr)
+        golden = replay_traces([(config, trace)], jobs=1)[0]
+        via_descriptor = replay_descriptor(config, descriptor)
+        assert via_descriptor == golden
+        assert replay_descriptor(config, descriptor) == golden  # memo hit
+        assert instr_memo.hits == 1
+
+    def test_broadcast_batch_parallel_ships_descriptors(
+        self, instr_memo, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_RECORDS", "0")
+        node = TensorNode(num_dimms=4, capacity_words_per_dimm=1 << 14)
+        instr = reduce(0, 4 * 1024, 4 * 2048, 300)
+        parallel = node.broadcast_timed_batch(
+            [instr], simulate_dimms=None, jobs=2
+        )[0]
+        # All four DIMMs share one descriptor: one IPC round trip, and the
+        # collection stored it at the instruction level.
+        assert len(instr_memo) == 1
+        instr_memo.clear()
+        sequential = TensorNode(
+            num_dimms=4, capacity_words_per_dimm=1 << 14
+        ).broadcast_timed_batch([instr], simulate_dimms=None, jobs=1)[0]
+        assert parallel.dram_per_dimm == sequential.dram_per_dimm
+        assert parallel.seconds == sequential.seconds
+
+    def test_second_parallel_batch_is_pure_hits(self, instr_memo, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_RECORDS", "0")
+        node = TensorNode(num_dimms=4, capacity_words_per_dimm=1 << 14)
+        instr = reduce(0, 4 * 1024, 4 * 2048, 300)
+        first = node.broadcast_timed_batch([instr], simulate_dimms=None, jobs=2)[0]
+        constructions = TraceBuffer.constructions
+        second = node.broadcast_timed_batch([instr], simulate_dimms=None, jobs=2)[0]
+        assert TraceBuffer.constructions == constructions  # zero materialization
+        assert second.dram_per_dimm == first.dram_per_dimm

@@ -1,0 +1,276 @@
+"""Symbolic trace descriptors: parity, collision, and zero-materialization.
+
+The instruction-level timing memo rests on two claims:
+
+* ``expand(describe(instr), instruction_indices(instr))`` is
+  array-identical to ``NmpCore.trace(instr)`` — the golden reference —
+  across every opcode and shape (seeded fuzz below);
+* a hit performs **zero** trace construction and **zero** bulk-array
+  hashing (pinned via the ``TraceBuffer`` materialization counters), and
+  every timed path is bit-identical with ``REPRO_INSTR_MEMO=0`` vs ``=1``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.isa import Instruction, Opcode, ReduceOp, average, gather, reduce, update
+from repro.core.nmp_core import expand
+from repro.core.tensordimm import TensorDimm
+from repro.core.tensornode import TensorNode
+from repro.dram.command import TraceBuffer
+from repro.dram.memo import INSTR_MEMO, INSTR_MEMO_ENV_VAR, TIMING_MEMO
+
+
+ND = 2  # node_dim of the fuzzed DIMM; node-word bases must align to it
+
+
+def _dimm(capacity=1 << 17):
+    return TensorDimm(0, ND, capacity_words=capacity)
+
+
+def _assert_identical(golden: TraceBuffer, symbolic: TraceBuffer):
+    assert np.array_equal(golden.addr, symbolic.addr)
+    assert np.array_equal(golden.is_write, symbolic.is_write)
+    assert np.array_equal(golden.cycle, symbolic.cycle)
+    assert golden.digest() == symbolic.digest()
+
+
+def _roundtrip(dimm, instr):
+    golden = dimm.nmp.trace(instr)
+    symbolic = expand(dimm.nmp.describe(instr), dimm.nmp.instruction_indices(instr))
+    _assert_identical(golden, symbolic)
+    return golden
+
+
+class TestExpandParity:
+    """Seeded fuzz: expand(describe(i), indices) == trace(i), all opcodes."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_gather(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        dimm = _dimm()
+        wps = int(rng.integers(1, 5))
+        # Ragged tails on purpose: counts not divisible by the 16-index word.
+        count = int(rng.integers(1, 700))
+        idx = rng.integers(0, 800, size=count).astype(np.int32)
+        dimm.write_indices(40000, idx)
+        _roundtrip(dimm, gather(0, 40000, ND * 50000, count, words_per_slice=wps))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reduce(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        count = int(rng.integers(1, 4000))
+        _roundtrip(_dimm(), reduce(0, ND * 8000, ND * 16000, count))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_average(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        wps = int(rng.integers(1, 5))
+        group = int(rng.integers(1, 7))
+        count = wps * int(rng.integers(1, 300))
+        _roundtrip(
+            _dimm(),
+            average(0, group, ND * 40000, count, words_per_slice=wps),
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_update_with_duplicate_rows(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        dimm = _dimm()
+        wps = int(rng.integers(1, 4))
+        count = int(rng.integers(1, 400))
+        # Tiny row space forces duplicate target rows (scatter-add case).
+        idx = rng.integers(0, 32, size=count).astype(np.int32)
+        dimm.write_indices(45000, idx)
+        _roundtrip(
+            dimm,
+            update(ND * 20000, 45000, 0, count, words_per_slice=wps),
+        )
+
+    def test_gather_single_lookup_and_full_word_tail(self):
+        dimm = _dimm()
+        for count in (1, 16, 17, 32):
+            idx = np.arange(count, dtype=np.int32)
+            dimm.write_indices(40000, idx)
+            _roundtrip(dimm, gather(0, 40000, ND * 50000, count, words_per_slice=3))
+
+    def test_expand_requires_indices_for_index_driven_opcodes(self):
+        dimm = _dimm()
+        dimm.write_indices(40000, np.arange(10, dtype=np.int32))
+        descriptor = dimm.nmp.describe(gather(0, 40000, ND * 50000, 10))
+        assert descriptor.needs_indices
+        with pytest.raises(ValueError):
+            expand(descriptor)
+        with pytest.raises(ValueError):
+            expand(descriptor, np.arange(9, dtype=np.int32))  # wrong length
+
+    def test_reduce_descriptor_is_index_free(self):
+        descriptor = _dimm().nmp.describe(reduce(0, ND * 8000, ND * 16000, 50))
+        assert not descriptor.needs_indices
+        assert descriptor.index_digest is None
+
+
+class TestDescriptorKeys:
+    """Distinct traces must map to distinct descriptor keys."""
+
+    def test_index_contents_distinguish_gathers(self):
+        dimm = _dimm()
+        instr = gather(0, 40000, ND * 50000, 64, words_per_slice=2)
+        dimm.write_indices(40000, np.arange(64, dtype=np.int32))
+        first = dimm.nmp.describe(instr)
+        dimm.write_indices(40000, np.arange(64, dtype=np.int32)[::-1].copy())
+        second = dimm.nmp.describe(instr)
+        assert first != second  # same shape, different index contents
+
+    def test_shape_fields_distinguish(self):
+        dimm = _dimm()
+        idx = np.arange(64, dtype=np.int32)
+        dimm.write_indices(40000, idx)
+        base = dimm.nmp.describe(gather(0, 40000, ND * 50000, 64, words_per_slice=2))
+        assert base != dimm.nmp.describe(
+            gather(0, 40000, ND * 50000, 63, words_per_slice=2)
+        )
+        assert base != dimm.nmp.describe(
+            gather(0, 40000, ND * 50000, 64, words_per_slice=3)
+        )
+        assert base != dimm.nmp.describe(
+            gather(ND * 100, 40000, ND * 50000, 64, words_per_slice=2)
+        )
+
+    def test_opcodes_never_collide(self):
+        dimm = _dimm()
+        dimm.write_indices(40000, np.arange(10, dtype=np.int32))
+        descriptors = [
+            dimm.nmp.describe(i)
+            for i in (
+                gather(0, 40000, ND * 50000, 10),
+                reduce(0, ND * 8000, ND * 16000, 10),
+                average(0, 2, ND * 40000, 10),
+                update(ND * 20000, 40000, 0, 10),
+            )
+        ]
+        assert len(set(descriptors)) == len(descriptors)
+
+    def test_descriptor_to_trace_is_functional(self):
+        """Equal keys must stand for byte-identical traces — the soundness
+        condition of keying the memo symbolically."""
+        rng = np.random.default_rng(9)
+        seen = {}
+        for _ in range(40):
+            dimm = _dimm()
+            count = int(rng.integers(1, 200))
+            wps = int(rng.integers(1, 4))
+            idx = rng.integers(0, 100, size=count).astype(np.int32)
+            dimm.write_indices(40000, idx)
+            instr = gather(0, 40000, ND * 50000, count, words_per_slice=wps)
+            key = dimm.nmp.describe(instr)
+            digest = dimm.nmp.trace(instr).digest()
+            assert seen.setdefault(key, digest) == digest
+
+    def test_reduce_wps_normalized_out_of_key(self):
+        """REDUCE traces ignore words_per_slice, so the key does too."""
+        dimm = _dimm()
+        plain = Instruction(Opcode.REDUCE, 0, ND * 8000, ND * 16000, 50)
+        wide = Instruction(
+            Opcode.REDUCE, 0, ND * 8000, ND * 16000, 50, words_per_slice=3
+        )
+        assert dimm.nmp.describe(plain) == dimm.nmp.describe(wide)
+        _assert_identical(dimm.nmp.trace(plain), dimm.nmp.trace(wide))
+
+    def test_subop_not_in_key(self):
+        """The ALU op changes arithmetic, never DRAM traffic."""
+        dimm = _dimm()
+        a = reduce(0, ND * 8000, ND * 16000, 50, op=ReduceOp.SUM)
+        b = reduce(0, ND * 8000, ND * 16000, 50, op=ReduceOp.MUL)
+        assert dimm.nmp.describe(a) == dimm.nmp.describe(b)
+
+
+class TestZeroMaterialization:
+    """An instruction-memo hit builds no TraceBuffer and hashes no bulk
+    arrays — pinned with the process-wide materialization counters."""
+
+    def _counters(self):
+        return TraceBuffer.constructions, TraceBuffer.digests_computed
+
+    def test_execute_timed_hit_path(self, instr_memo):
+        dimm = _dimm()
+        idx = np.arange(128, dtype=np.int32)
+        dimm.write_indices(40000, idx)
+        instr = gather(0, 40000, ND * 50000, 128, words_per_slice=2)
+        first = dimm.execute_timed(instr)
+        assert instr_memo.hits == 0 and instr_memo.misses == 1
+        before = self._counters()
+        second = dimm.execute_timed(instr)
+        assert self._counters() == before
+        assert instr_memo.hits == 1
+        assert second.dram_stats == first.dram_stats
+        assert second.seconds == first.seconds
+
+    def test_reduce_chain_hit_path(self, instr_memo):
+        dimm = _dimm()
+        instr = reduce(0, ND * 8000, ND * 16000, 300)
+        first = dimm.execute_timed(instr)
+        before = self._counters()
+        for _ in range(3):
+            assert dimm.execute_timed(instr).dram_stats == first.dram_stats
+        assert self._counters() == before
+
+    def test_broadcast_timed_hit_path(self, instr_memo):
+        node = TensorNode(num_dimms=4, capacity_words_per_dimm=1 << 14)
+        instr = reduce(0, 4 * 1024, 4 * 2048, 200)
+        first = node.broadcast_timed(instr, simulate_dimms=None)
+        before = self._counters()
+        second = node.broadcast_timed(instr, simulate_dimms=None)
+        assert self._counters() == before
+        assert second.dram_per_dimm == first.dram_per_dimm
+        assert second.seconds == first.seconds
+
+
+class TestKillSwitch:
+    """REPRO_INSTR_MEMO=0 vs =1 must be bit-identical on every timed path."""
+
+    def _run_dimm(self, monkeypatch, flag):
+        monkeypatch.setenv(INSTR_MEMO_ENV_VAR, flag)
+        TIMING_MEMO.clear()
+        INSTR_MEMO.clear()
+        rng = np.random.default_rng(77)
+        dimm = _dimm()
+        idx = rng.integers(0, 500, size=200).astype(np.int32)
+        dimm.write_indices(40000, idx)
+        instrs = [
+            gather(0, 40000, ND * 50000, 200, words_per_slice=2),
+            reduce(0, ND * 8000, ND * 16000, 400),
+            average(0, 4, ND * 40000, 120, words_per_slice=2),
+            update(ND * 20000, 40000, 0, 150, words_per_slice=2),
+        ]
+        # Repeats exercise the hit path when the memo is on.
+        return [dimm.execute_timed(i) for i in instrs + instrs]
+
+    def test_execute_timed_bit_identical(self, monkeypatch):
+        on = self._run_dimm(monkeypatch, "1")
+        off = self._run_dimm(monkeypatch, "0")
+        for a, b in zip(on, off):
+            assert a.dram_stats == b.dram_stats
+            assert a.seconds == b.seconds
+            assert a.exec_stats == b.exec_stats
+
+    def _run_node(self, monkeypatch, flag):
+        monkeypatch.setenv(INSTR_MEMO_ENV_VAR, flag)
+        TIMING_MEMO.clear()
+        INSTR_MEMO.clear()
+        node = TensorNode(num_dimms=4, capacity_words_per_dimm=1 << 16)
+        rng = np.random.default_rng(5)
+        idx = rng.integers(0, 300, size=100).astype(np.int32)
+        alloc = node.alloc_indices("idx", 100)
+        node.write_indices(alloc, idx)
+        instr = gather(0, alloc.base_word, 4 * 9000, 100, words_per_slice=1)
+        return node.broadcast_timed_batch(
+            [instr, instr], simulate_dimms=None, jobs=1
+        )
+
+    def test_broadcast_timed_batch_bit_identical(self, monkeypatch):
+        on = self._run_node(monkeypatch, "1")
+        off = self._run_node(monkeypatch, "0")
+        for a, b in zip(on, off):
+            assert a.dram_per_dimm == b.dram_per_dimm
+            assert a.seconds == b.seconds
